@@ -1,0 +1,60 @@
+// Ablation: SAG x CD design-space sweep.
+//
+// Sweeps the two subdivision dimensions independently and together,
+// reporting speedup over baseline and relative energy — the
+// performance/energy Pareto the paper's Sections 4-6 argue about:
+// more CDs cut sensing energy (but add underfetch), more SAGs add row
+// parallelism (Multi-Activation) and write isolation.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 8000);
+
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> dims = {
+      {1, 1}, {2, 2}, {4, 2}, {2, 4}, {4, 4}, {8, 2},
+      {8, 4}, {8, 8}, {16, 4}, {8, 16}, {16, 16}, {32, 32},
+  };
+
+  const sys::SystemConfig baseline = sys::baseline_config();
+  const auto traces = benchutil::evaluation_traces(ops);
+
+  std::cout << "Ablation: geometry sweep (gmean speedup / mean relative "
+               "energy over "
+            << traces.size() << " workloads, " << ops << " ops each)\n\n";
+
+  Table t({"SAGs x CDs", "speedup", "rel. energy", "underfetch ACTs/read",
+           "bg writes/write"});
+  for (const auto& [sags, cds] : dims) {
+    sys::SystemConfig cfg = sys::fgnvm_config(sags, cds);
+    std::vector<double> speedups, energies;
+    double underfetch = 0.0, reads = 0.0, bg = 0.0, writes = 0.0;
+    for (const trace::Trace& tr : traces) {
+      const sim::RunResult base = sim::run_workload(tr, baseline);
+      const sim::RunResult r = sim::run_workload(tr, cfg);
+      speedups.push_back(r.ipc / base.ipc);
+      energies.push_back(r.energy.total_pj() / base.energy.total_pj());
+      underfetch += static_cast<double>(r.banks.underfetch_acts);
+      reads += static_cast<double>(r.reads);
+      bg += static_cast<double>(r.controller.counter("cmd.write_background"));
+      writes += static_cast<double>(r.controller.counter("cmd.write"));
+    }
+    t.add_row({std::to_string(sags) + "x" + std::to_string(cds),
+               Table::fmt(geometric_mean(speedups), 3),
+               Table::fmt(arithmetic_mean(energies), 3),
+               Table::fmt(underfetch / reads, 3),
+               Table::fmt(writes > 0 ? bg / writes : 0.0, 3)});
+  }
+  std::cout << t.to_text() << "\n";
+  std::cout << "Reading guide: energy falls with CDs; speedup grows with "
+               "SAGs (write isolation,\nrow parallelism) and saturates; "
+               "underfetch grows with CDs on streaming workloads.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: contribution of each FgNVM access mode (Section 4).
+//
+// Runs the evaluation workloads on a 4x4 FgNVM with each of
+// Partial-Activation / Multi-Activation / Backgrounded-Writes disabled in
+// turn (and all off), reporting speedup over the baseline PCM bank and
+// relative energy. Shows who contributes what to the headline numbers.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 10000);
+
+  struct Variant {
+    const char* name;
+    nvm::AccessModes modes;
+  };
+  const std::vector<Variant> variants = {
+      {"all modes", nvm::AccessModes::all_on()},
+      {"no partial-act", {false, true, true}},
+      {"no multi-act", {true, false, true}},
+      {"no bg-writes", {true, true, false}},
+      {"all off", nvm::AccessModes::all_off()},
+  };
+
+  const sys::SystemConfig baseline = sys::baseline_config();
+
+  std::cout << "Ablation: FgNVM 4x4 access modes, speedup / relative energy "
+               "vs baseline ("
+            << ops << " ops per benchmark)\n\n";
+
+  std::vector<std::string> headers{"benchmark"};
+  for (const auto& v : variants) headers.push_back(v.name);
+  Table speed(headers);
+  Table energy(headers);
+  std::vector<std::vector<double>> sp(variants.size()), en(variants.size());
+
+  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+    const sim::RunResult base = sim::run_workload(tr, baseline);
+    std::vector<std::string> srow{tr.name}, erow{tr.name};
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
+      cfg.modes = variants[i].modes;
+      const sim::RunResult r = sim::run_workload(tr, cfg);
+      const double s = r.ipc / base.ipc;
+      const double e = r.energy.total_pj() / base.energy.total_pj();
+      sp[i].push_back(s);
+      en[i].push_back(e);
+      srow.push_back(Table::fmt(s, 3));
+      erow.push_back(Table::fmt(e, 3));
+    }
+    speed.add_row(srow);
+    energy.add_row(erow);
+  }
+
+  std::vector<std::string> savg{"gmean"}, eavg{"average"};
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    savg.push_back(Table::fmt(geometric_mean(sp[i]), 3));
+    eavg.push_back(Table::fmt(arithmetic_mean(en[i]), 3));
+  }
+  speed.add_row(savg);
+  energy.add_row(eavg);
+
+  std::cout << "Speedup over baseline:\n" << speed.to_text() << "\n";
+  std::cout << "Relative energy vs baseline:\n" << energy.to_text() << "\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: FgNVM across NVM technologies (PCM / RRAM / STT-RAM).
+//
+// The paper argues its mechanism applies to any resistive NVM with
+// non-destructive current-mode sensing. This bench asks how much of the
+// FgNVM benefit survives as the device gets faster: PCM (slow writes, the
+// paper's evaluation vehicle), RRAM (middle), STT-RAM (near-DRAM writes).
+// Expectation: the backgrounded-write benefit shrinks with write latency,
+// the partial-activation energy benefit persists.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 8000);
+
+  const std::vector<nvm::Technology> techs = {
+      nvm::Technology::kPcm, nvm::Technology::kRram,
+      nvm::Technology::kSttRam};
+
+  std::cout << "Ablation: FgNVM 4x4 vs same-technology baseline, per NVM "
+               "technology ("
+            << ops << " ops per benchmark)\n\n";
+
+  Table t({"technology", "baseline IPC (gmean)", "FgNVM speedup",
+           "FgNVM rel. energy"});
+  for (const auto tech : techs) {
+    const sys::SystemConfig base = sys::technology_config(tech, 1, 1);
+    const sys::SystemConfig fg = sys::technology_config(tech, 4, 4);
+    std::vector<double> base_ipc, speedup, energy;
+    for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+      const sim::RunResult rb = sim::run_workload(tr, base);
+      const sim::RunResult rf = sim::run_workload(tr, fg);
+      base_ipc.push_back(rb.ipc);
+      speedup.push_back(rf.ipc / rb.ipc);
+      energy.push_back(rf.energy.total_pj() / rb.energy.total_pj());
+    }
+    t.add_row({nvm::to_string(tech), Table::fmt(geometric_mean(base_ipc), 3),
+               Table::fmt(geometric_mean(speedup), 3),
+               Table::fmt(arithmetic_mean(energy), 3)});
+  }
+  std::cout << t.to_text() << "\n";
+  std::cout << "Faster devices leave less write latency to hide (smaller "
+               "speedup) but the\nsensing-energy reduction from "
+               "partial activation persists across technologies.\n";
+  return 0;
+}

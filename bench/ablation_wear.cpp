@@ -1,0 +1,98 @@
+// Ablation: PCM endurance under the evaluation workloads (extension beyond
+// the paper, which evaluates performance/energy only — lifetime is the
+// third axis any PCM main memory must answer for).
+//
+// Replays each workload's write stream through the wear map with and
+// without Start-Gap wear leveling and reports the max/mean write skew and
+// the relative-lifetime fraction (hottest-line-limited vs uniform ideal).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "wear/start_gap.hpp"
+#include "wear/wear_map.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 40000);
+
+  std::cout << "Ablation: write-wear skew and relative lifetime, raw vs "
+               "per-64KB-region Start-Gap\n(gap interval 8), "
+            << ops << " ops per benchmark replayed to a ~2M-write horizon\n\n";
+
+  // Start-Gap is deployed per region (here 1024 lines = 64KB) and pays off
+  // over device-lifetime write volumes, so each trace's write stream is
+  // replayed up to a fixed ~2M-write horizon (steady-state emulation).
+  constexpr std::uint64_t kRegionLines = 1024;
+  constexpr std::uint64_t kRegionBytes = kRegionLines * 64;
+  constexpr std::uint64_t kWriteHorizon = 2'000'000;
+
+  Table t({"benchmark", "writes", "max/mean raw", "max/mean leveled",
+           "lifetime raw", "lifetime leveled"});
+
+  const auto run_one = [&](const trace::Trace& tr) {
+    wear::WearMap raw(64), leveled(64);
+    std::vector<wear::StartGapLeveler> regions;
+    std::uint64_t max_line = 1;
+    for (const auto& r : tr.records) {
+      max_line = std::max(max_line, r.addr / 64 + 1);
+    }
+    const std::uint64_t num_regions = (max_line + kRegionLines - 1) / kRegionLines;
+    regions.reserve(num_regions);
+    for (std::uint64_t i = 0; i < num_regions; ++i) {
+      regions.emplace_back(kRegionLines, /*gap_interval=*/8);
+    }
+
+    std::uint64_t trace_writes = 0;
+    for (const auto& r : tr.records) trace_writes += r.op == OpType::kWrite;
+    const std::uint64_t replays =
+        trace_writes ? std::max<std::uint64_t>(1, kWriteHorizon / trace_writes)
+                     : 1;
+    for (std::uint64_t rep = 0; rep < replays; ++rep) {
+      for (const auto& r : tr.records) {
+        if (r.op != OpType::kWrite) continue;
+        raw.record_write(r.addr);
+        const std::uint64_t region = r.addr / kRegionBytes;
+        wear::StartGapLeveler& sg = regions[region];
+        leveled.record_write(region * kRegionBytes +
+                             sg.translate(r.addr % kRegionBytes));
+        sg.on_write();
+      }
+    }
+    const wear::WearSummary rs = raw.summarize();
+    const wear::WearSummary ls = leveled.summarize();
+    const auto ratio = [](const wear::WearSummary& s) {
+      return s.mean_writes > 0
+                 ? static_cast<double>(s.max_writes) / s.mean_writes
+                 : 0.0;
+    };
+    t.add_row({tr.name, std::to_string(rs.total_writes),
+               Table::fmt(ratio(rs), 2), Table::fmt(ratio(ls), 2),
+               Table::fmt(rs.lifetime_fraction(max_line), 4),
+               Table::fmt(ls.lifetime_fraction(max_line), 4)});
+  };
+
+  // A hot-spot kernel (repeatedly rewriting a small buffer inside a big
+  // footprint) — the classic case wear leveling exists for.
+  {
+    trace::WorkloadProfile hot;
+    hot.name = "hotspot";
+    hot.mpki = 50.0;
+    hot.write_fraction = 0.8;
+    hot.row_locality = 0.9;
+    hot.random_fraction = 0.0;
+    hot.burstiness = 0.5;
+    hot.num_streams = 2;
+    hot.footprint_bytes = 1ULL << 20;  // 1MB hammered hard
+    hot.seed = 77;
+    run_one(trace::generate_trace(hot, ops));
+  }
+  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) run_one(tr);
+
+  std::cout << t.to_text() << "\n";
+  std::cout << "Per-region Start-Gap flattens the hottest-line skew; the "
+               "hotspot kernel shows the\nfull effect, the SPEC-like rows "
+               "the (smaller) effect on naturally spread writes.\n";
+  return 0;
+}

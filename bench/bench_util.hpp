@@ -1,0 +1,37 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace fgnvm::benchutil {
+
+/// Memory ops simulated per benchmark: argv[1] if given, else env
+/// FGNVM_BENCH_OPS, else `dflt`. Keeps `ctest`-style quick runs and full
+/// paper-scale runs in one binary.
+inline std::uint64_t ops_from_args(int argc, char** argv,
+                                   std::uint64_t dflt = 30000) {
+  if (argc > 1) return std::stoull(argv[1]);
+  if (const char* env = std::getenv("FGNVM_BENCH_OPS")) {
+    return std::stoull(env);
+  }
+  return dflt;
+}
+
+/// Generates the evaluation traces (all SPEC2006-like profiles).
+inline std::vector<trace::Trace> evaluation_traces(std::uint64_t memory_ops) {
+  std::vector<trace::Trace> traces;
+  for (const trace::WorkloadProfile& p : trace::spec2006_profiles()) {
+    traces.push_back(trace::generate_trace(p, memory_ops));
+  }
+  return traces;
+}
+
+}  // namespace fgnvm::benchutil

@@ -1,0 +1,81 @@
+// Figure 4 reproduction: IPC improvement over the baseline PCM design for
+// FgNVM, a 128-banks-per-rank memory, and FgNVM with Multi-Issue, across
+// high-MPKI SPEC2006-like workloads.
+//
+// Geometry note: the paper is internally inconsistent here — Table 2 and the
+// evaluation text specify 4 SAGs x 4 CDs ("we choose a reasonable FgNVM with
+// 4 SAGs and 4 CDs", and 8 banks x 4x4 = the 128 accessible units the
+// 128-bank comparison equates to), while the figure caption says 8x2. We
+// follow the self-consistent Table-2 configuration (4x4); pass a different
+// argv[2] (e.g. "8x2") to reproduce the caption variant.
+//
+// Paper headline: FgNVM averages a 56.5% performance improvement; the
+// 128-bank design is slightly better than FgNVM (column conflicts +
+// underfetch); Multi-Issue recovers much of the gap.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv);
+  std::uint64_t sags = 4, cds = 4;
+  if (argc > 2) {
+    const std::string dims = argv[2];
+    const auto x = dims.find('x');
+    sags = std::stoull(dims.substr(0, x));
+    cds = std::stoull(dims.substr(x + 1));
+  }
+
+  const sys::SystemConfig baseline = sys::baseline_config();
+  const std::vector<sys::SystemConfig> variants = {
+      sys::fgnvm_config(sags, cds),
+      sys::many_banks_config(sags, cds),  // "128 Banks" for 4x4 or 8x2
+      sys::fgnvm_config(sags, cds, /*multi_issue=*/true),
+  };
+
+  std::cout << "Figure 4: relative speedup over baseline PCM (" << ops
+            << " memory ops per benchmark)\n\n";
+
+  const std::string dims_label =
+      std::to_string(sags) + "x" + std::to_string(cds);
+  Table t({"benchmark", "FgNVM " + dims_label, variants[1].name,
+           "FgNVM+Multi-Issue"});
+  std::vector<std::vector<double>> speedups(variants.size());
+
+  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+    const sim::RunResult base = sim::run_workload(tr, baseline);
+    std::vector<std::string> row{tr.name};
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const sim::RunResult r = sim::run_workload(tr, variants[i]);
+      const double s = r.ipc / base.ipc;
+      speedups[i].push_back(s);
+      row.push_back(Table::fmt(s, 3));
+    }
+    t.add_row(row);
+  }
+
+  std::vector<std::string> gmean_row{"gmean"};
+  std::vector<std::string> amean_row{"amean"};
+  for (const auto& s : speedups) {
+    gmean_row.push_back(Table::fmt(geometric_mean(s), 3));
+    amean_row.push_back(Table::fmt(arithmetic_mean(s), 3));
+  }
+  t.add_row(gmean_row);
+  t.add_row(amean_row);
+  std::cout << t.to_text() << "\n";
+
+  std::cout << "Paper reference: FgNVM avg improvement 56.5% (i.e. ~1.565x); "
+               "128 Banks slightly above FgNVM;\nMulti-Issue recovers "
+               "column-conflict losses.\n";
+  std::cout << "Measured: FgNVM " << Table::fmt(arithmetic_mean(speedups[0]), 3)
+            << "x, 128 Banks " << Table::fmt(arithmetic_mean(speedups[1]), 3)
+            << "x, FgNVM+MI " << Table::fmt(arithmetic_mean(speedups[2]), 3)
+            << "x (arithmetic mean)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: bank FSM
+// queries, scheduler picks, address decoding, trace generation, and a full
+// end-to-end simulation throughput figure (simulated memory ops per second).
+#include <benchmark/benchmark.h>
+
+#include "mem/geometry.hpp"
+#include "nvm/fgnvm_bank.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+using namespace fgnvm;
+
+mem::MemGeometry bench_geometry(std::uint64_t sags, std::uint64_t cds) {
+  mem::MemGeometry g;
+  g.banks_per_rank = 8;
+  g.rows_per_bank = 4096;
+  g.row_bytes = 1024;
+  g.line_bytes = 64;
+  g.num_sags = sags;
+  g.num_cds = cds;
+  return g;
+}
+
+void BM_AddressDecode(benchmark::State& state) {
+  const mem::AddressDecoder dec(bench_geometry(4, 4));
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(a));
+    a += 4096 + 64;
+  }
+}
+BENCHMARK(BM_AddressDecode);
+
+void BM_BankEarliestActivate(benchmark::State& state) {
+  const mem::MemGeometry geo =
+      bench_geometry(state.range(0), state.range(1));
+  const mem::TimingParams timing;
+  nvm::FgNvmBank bank(geo, timing, nvm::AccessModes::all_on());
+  const mem::AddressDecoder dec(geo);
+  const auto addr = dec.decode(dec.encode(0, 0, 0, 100, 3));
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bank.earliest_activate(addr, nvm::ActPurpose::kRead, now++));
+  }
+}
+BENCHMARK(BM_BankEarliestActivate)->Args({4, 4})->Args({32, 32});
+
+void BM_BankActivateColumnCycle(benchmark::State& state) {
+  const mem::MemGeometry geo = bench_geometry(4, 4);
+  const mem::TimingParams timing;
+  nvm::FgNvmBank bank(geo, timing, nvm::AccessModes::all_on());
+  const mem::AddressDecoder dec(geo);
+  Cycle now = 0;
+  std::uint64_t row = 0;
+  for (auto _ : state) {
+    const auto addr = dec.decode(dec.encode(0, 0, 0, row, 0));
+    now = bank.earliest_activate(addr, nvm::ActPurpose::kRead, now);
+    bank.issue_activate(addr, nvm::ActPurpose::kRead, now);
+    now = bank.earliest_column(addr, OpType::kRead, now);
+    benchmark::DoNotOptimize(bank.issue_column(addr, OpType::kRead, now));
+    row = (row + 1) % geo.rows_per_bank;
+  }
+}
+BENCHMARK(BM_BankActivateColumnCycle);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const trace::WorkloadProfile p = trace::spec2006_profile("milc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::generate_trace(p, static_cast<std::uint64_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("milc"), 2000);
+  const sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_workload(tr, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // memory ops / s
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 1 reproduction: area overheads of the FgNVM design.
+//
+// Paper values (45 nm): row latches 2,325 um^2 avg / 9,333 um^2 max; CSL
+// latches 636.3 um^2 avg / 4,242 um^2 max; LY-SEL lines 0 avg / 0.1 mm^2
+// max; totals 2,961 um^2 (<0.1%) and 0.11 mm^2 (0.36%). "Avg" is an 8x8
+// FgNVM, "Max" a 32x32 FgNVM.
+#include <cstdio>
+#include <iostream>
+
+#include "area/area_model.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace fgnvm;
+
+  const area::AreaReport avg = area::fgnvm_area(8, 8);
+  const area::AreaReport max = area::fgnvm_area(32, 32);
+
+  std::cout << "Table 1: Summary of Area Overheads in FgNVM design\n"
+            << "(avg = 8x8 FgNVM, max = 32x32 FgNVM, 45 nm)\n\n";
+
+  Table t({"Component", "Avg Overhead", "Max Overhead", "Paper Avg",
+           "Paper Max"});
+  t.add_row({"Row Decoder (delta transistors)",
+             Table::fmt(avg.row_decoder_delta_transistors, 0),
+             Table::fmt(max.row_decoder_delta_transistors, 0), "N/A", "N/A"});
+  t.add_row({"Row Latches (um^2)", Table::fmt(avg.row_latches_um2, 0),
+             Table::fmt(max.row_latches_um2, 0), "2325", "9333"});
+  t.add_row({"CSL Latches (um^2)", Table::fmt(avg.csl_latches_um2, 1),
+             Table::fmt(max.csl_latches_um2, 0), "636.3", "4242"});
+  t.add_row({"LY-SEL Lines (mm^2)", Table::fmt(avg.lysel_wires_best_mm2, 2),
+             Table::fmt(max.lysel_wires_worst_mm2, 2), "0", "0.1"});
+  t.add_row({"Total", Table::fmt(avg.total_best_um2, 0) + " um^2",
+             Table::fmt(max.total_worst_mm2, 2) + " mm^2", "2961 um^2",
+             "0.11 mm^2"});
+  t.add_row({"Fraction of bank",
+             Table::fmt(avg.total_best_fraction * 100.0, 3) + "%",
+             Table::fmt(max.total_worst_fraction * 100.0, 2) + "%", "<0.1%",
+             "0.36%"});
+  std::cout << t.to_text() << "\n";
+
+  std::cout << "Note: the LY-SEL wire model keeps the paper's 6F metal3 "
+               "pitch over a 4 mm bank;\nthe routed fraction is calibrated "
+               "because the paper's own wire arithmetic\n(32x32 x 270 nm = "
+               "276 um bus => ~1.1 mm^2) does not reach its quoted 0.1 "
+               "mm^2.\n";
+  return 0;
+}

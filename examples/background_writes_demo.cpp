@@ -1,0 +1,64 @@
+// Backgrounded Writes demo (paper Section 4, Figure 3c).
+//
+// PCM programming is slow — a 64B line occupies the write drivers for
+// hundreds of controller cycles. In the baseline bank every queued-up write
+// burst stalls all reads to that bank; FgNVM parks the write in one
+// (SAG, CD) pair and keeps serving reads from the other tiles.
+//
+// This demo runs a read stream plus an increasingly aggressive write stream
+// and prints the read latency distribution each design delivers.
+#include <cstdint>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  std::uint64_t ops = 20000;
+  if (argc > 1) ops = std::stoull(argv[1]);
+
+  std::cout << "Backgrounded Writes demo: read latency under write pressure\n"
+            << "(PCM write occupies its tiles for "
+            << mem::TimingParams{}.write_occupancy(512)
+            << " cycles; baseline locks the whole bank)\n\n";
+
+  Table t({"write fraction", "baseline avg lat", "fgnvm avg lat",
+           "baseline IPC", "fgnvm IPC", "speedup", "writes backgrounded"});
+
+  for (const double wfrac : {0.05, 0.15, 0.30, 0.45}) {
+    trace::WorkloadProfile p;
+    p.name = "demo";
+    p.mpki = 25.0;
+    p.write_fraction = wfrac;
+    p.row_locality = 0.6;
+    p.random_fraction = 0.15;
+    p.burstiness = 0.6;
+    p.num_streams = 8;
+    p.footprint_bytes = 128ULL << 20;
+    p.seed = 7;
+    const trace::Trace tr = trace::generate_trace(p, ops);
+
+    const sim::RunResult base =
+        sim::run_workload(tr, sys::baseline_config());
+    const sim::RunResult fg = sim::run_workload(tr, sys::fgnvm_config(4, 4));
+
+    const std::uint64_t bg =
+        fg.controller.counter("cmd.write_background");
+    const std::uint64_t total_w = fg.controller.counter("cmd.write");
+    t.add_row({Table::fmt(wfrac, 2), Table::fmt(base.avg_read_latency, 1),
+               Table::fmt(fg.avg_read_latency, 1), Table::fmt(base.ipc, 3),
+               Table::fmt(fg.ipc, 3), Table::fmt(fg.ipc / base.ipc, 2) + "x",
+               Table::fmt(100.0 * static_cast<double>(bg) /
+                              static_cast<double>(total_w ? total_w : 1),
+                          0) +
+                   "%"});
+  }
+  std::cout << t.to_text() << "\n";
+  std::cout << "The FgNVM advantage grows with write intensity: that is the "
+               "Backgrounded-Writes\neffect the paper builds the third "
+               "access mode around.\n";
+  return 0;
+}

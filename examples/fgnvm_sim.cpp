@@ -1,0 +1,134 @@
+// fgnvm_sim — the NVMain-style command-line simulator.
+//
+// Drives one workload (a trace file or a named synthetic profile) through a
+// memory system described by a key=value config file, and prints a human
+// summary and/or a JSON report.
+//
+//   fgnvm_sim --config configs/fgnvm_4x4.cfg --workload lbm --ops 50000
+//   fgnvm_sim --config configs/baseline.cfg --trace mcf.trace --json out.json
+//   fgnvm_sim --config configs/dram_salp8.cfg --workload milc --memory-only
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sys/memory_system.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> workload;
+  std::uint64_t ops = 20000;
+  std::optional<std::string> json_path;
+  bool memory_only = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: fgnvm_sim --config <file> (--trace <file> | --workload "
+         "<name>)\n"
+         "                 [--ops N] [--json <file>] [--memory-only]\n"
+         "Named workloads: ";
+  for (const auto& p : fgnvm::trace::spec2006_profiles()) {
+    std::cerr << p.name << " ";
+  }
+  std::cerr << "\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--config") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      o.config_path = *v;
+    } else if (arg == "--trace") {
+      o.trace_path = next();
+    } else if (arg == "--workload") {
+      o.workload = next();
+    } else if (arg == "--ops") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      o.ops = std::stoull(*v);
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else if (arg == "--memory-only") {
+      o.memory_only = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  if (o.config_path.empty() || (!o.trace_path && !o.workload)) {
+    return std::nullopt;
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  const auto opts = parse(argc, argv);
+  if (!opts) return usage();
+
+  try {
+    const Config raw = Config::from_file(opts->config_path);
+    const sys::SystemConfig cfg = sys::SystemConfig::from_config(raw);
+
+    trace::Trace tr;
+    if (opts->trace_path) {
+      tr = trace::read_trace_any_file(*opts->trace_path);
+    } else {
+      tr = trace::generate_trace(trace::spec2006_profile(*opts->workload),
+                                 opts->ops);
+    }
+
+    std::cout << "config:   " << cfg.name << " (" << cfg.geometry.to_string()
+              << ")\n"
+              << "timing:   " << cfg.timing.to_string() << "\n"
+              << "workload: " << tr.name << ", " << tr.records.size()
+              << " memory ops, " << tr.total_instructions()
+              << " instructions\n\n";
+
+    const sim::RunResult r = opts->memory_only
+                                 ? sim::run_memory_only(tr, cfg)
+                                 : sim::run_workload(tr, cfg);
+
+    if (!opts->memory_only) {
+      std::cout << "IPC                 " << r.ipc << "\n";
+    }
+    std::cout << "memory cycles       " << r.mem_cycles << "\n"
+              << "reads / writes      " << r.reads << " / " << r.writes << "\n"
+              << "avg read latency    " << r.avg_read_latency
+              << " memory cycles\n"
+              << "energy per op       " << r.energy_per_op_pj() << " pJ\n"
+              << "activations (R/W)   " << r.banks.acts_for_read << " / "
+              << r.banks.acts_for_write << "\n"
+              << "underfetch ACTs     " << r.banks.underfetch_acts << "\n";
+
+    if (opts->json_path) {
+      std::ofstream f(*opts->json_path);
+      if (!f) throw std::runtime_error("cannot open " + *opts->json_path);
+      f << sim::to_json(r) << "\n";
+      std::cout << "\nJSON report written to " << *opts->json_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Deep-dive inspector: run one workload on one memory configuration and
+// dump every counter the simulator keeps — controller behaviour, bank
+// activity, energy breakdown, CPU stalls.
+//
+//   ./inspect_run [workload=lbm] [config=fgnvm_8x2] [memory_ops=20000]
+//
+// config is one of: baseline, fgnvm_NxM, fgnvm_NxM_mi, many_banks_NxM.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+fgnvm::sys::SystemConfig parse_config(const std::string& name) {
+  using namespace fgnvm::sys;
+  if (name == "baseline") return baseline_config();
+  const auto parse_dims = [&](std::size_t pos, std::uint64_t& sags,
+                              std::uint64_t& cds) {
+    const auto x = name.find('x', pos);
+    sags = std::stoull(name.substr(pos, x - pos));
+    cds = std::stoull(name.substr(x + 1));
+  };
+  std::uint64_t sags = 8, cds = 2;
+  if (name.rfind("fgnvm_", 0) == 0) {
+    const bool mi = name.size() > 3 && name.substr(name.size() - 3) == "_mi";
+    const std::string dims =
+        mi ? name.substr(6, name.size() - 9) : name.substr(6);
+    const auto x = dims.find('x');
+    sags = std::stoull(dims.substr(0, x));
+    cds = std::stoull(dims.substr(x + 1));
+    return fgnvm_config(sags, cds, mi);
+  }
+  if (name.rfind("many_banks_", 0) == 0) {
+    parse_dims(11, sags, cds);
+    return many_banks_config(sags, cds);
+  }
+  throw std::runtime_error("unknown config name: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+
+  const std::string workload = argc > 1 ? argv[1] : "lbm";
+  const std::string config = argc > 2 ? argv[2] : "fgnvm_8x2";
+  const std::uint64_t ops = argc > 3 ? std::stoull(argv[3]) : 20000;
+
+  const trace::WorkloadProfile profile = trace::spec2006_profile(workload);
+  const trace::Trace tr = trace::generate_trace(profile, ops);
+  const sys::SystemConfig sc = parse_config(config);
+
+  std::cout << "workload " << workload << ": "
+            << trace::analyze(tr, sc.geometry).to_string() << "\n";
+  std::cout << "config " << sc.name << ": " << sc.geometry.to_string()
+            << ", scheduler " << to_string(sc.controller.policy)
+            << ", issue_width " << sc.controller.issue_width << "\n\n";
+
+  const sim::RunResult r = sim::run_workload(tr, sc);
+
+  std::cout << "instructions " << r.instructions << ", cpu cycles "
+            << r.cpu_cycles << ", IPC " << r.ipc << "\n";
+  std::cout << "rob-full stalls " << r.fetch_stall_cycles
+            << ", memory backpressure stalls " << r.backpressure_stalls
+            << " (cpu cycles)\n";
+  std::cout << "mem cycles " << r.mem_cycles << ", reads " << r.reads
+            << ", writes " << r.writes << "\n";
+  std::cout << "read latency: avg " << r.avg_read_latency << ", p50 "
+            << r.p50_read_latency << ", p95 " << r.p95_read_latency
+            << ", p99 " << r.p99_read_latency << " (mem cycles)\n\n";
+
+  std::cout << "bank activity:\n"
+            << "  ACTs for read   " << r.banks.acts_for_read << "\n"
+            << "  ACTs for write  " << r.banks.acts_for_write << "\n"
+            << "  underfetch ACTs " << r.banks.underfetch_acts << "\n"
+            << "  bits sensed     " << r.banks.bits_sensed << "\n"
+            << "  bits written    " << r.banks.bits_written << "\n\n";
+
+  std::cout << "energy: sense " << r.energy.sense_pj / 1e6 << " uJ, write "
+            << r.energy.write_pj / 1e6 << " uJ, background "
+            << r.energy.background_pj / 1e6 << " uJ, total "
+            << r.energy.total_pj() / 1e6 << " uJ ("
+            << r.energy_per_op_pj() << " pJ/op)\n\n";
+
+  std::cout << "controller counters:\n" << r.controller.to_string() << "\n";
+  return 0;
+}

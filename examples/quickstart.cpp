@@ -1,0 +1,61 @@
+// Quickstart: build an FgNVM memory system, run a synthetic workload
+// through the ROB CPU model, and print performance + energy next to the
+// baseline PCM design.
+//
+//   ./quickstart [memory_ops]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+
+  std::uint64_t memory_ops = 20000;
+  if (argc > 1) memory_ops = std::stoull(argv[1]);
+
+  // 1. Describe a workload by its first-order statistics.
+  trace::WorkloadProfile profile;
+  profile.name = "quickstart";
+  profile.mpki = 25.0;
+  profile.write_fraction = 0.3;
+  profile.row_locality = 0.6;
+  profile.num_streams = 8;
+  const trace::Trace t = trace::generate_trace(profile, memory_ops);
+
+  // 2. Pick memory systems: the paper's baseline PCM bank and an 8x2 FgNVM.
+  const sys::SystemConfig baseline = sys::baseline_config();
+  const sys::SystemConfig fgnvm = sys::fgnvm_config(8, 2);
+
+  // 3. Run both and compare.
+  const sim::RunResult rb = sim::run_workload(t, baseline);
+  const sim::RunResult rf = sim::run_workload(t, fgnvm);
+
+  Table table({"metric", "baseline", "fgnvm 8x2"});
+  table.add_row({"IPC", Table::fmt(rb.ipc), Table::fmt(rf.ipc)});
+  table.add_row({"speedup", "1.000", Table::fmt(rf.ipc / rb.ipc)});
+  table.add_row({"avg read latency (mem cyc)", Table::fmt(rb.avg_read_latency, 1),
+                 Table::fmt(rf.avg_read_latency, 1)});
+  table.add_row({"energy/op (pJ)", Table::fmt(rb.energy_per_op_pj(), 0),
+                 Table::fmt(rf.energy_per_op_pj(), 0)});
+  table.add_row({"relative energy", "1.000",
+                 Table::fmt(rf.energy.total_pj() / rb.energy.total_pj())});
+  table.add_row(
+      {"underfetch ACTs", std::to_string(rb.banks.underfetch_acts),
+       std::to_string(rf.banks.underfetch_acts)});
+  std::cout << "FgNVM quickstart (" << memory_ops << " memory ops, "
+            << t.total_instructions() << " instructions)\n\n"
+            << table.to_text() << "\n";
+
+  std::cout << "FgNVM speedup over baseline: "
+            << Table::fmt(rf.ipc / rb.ipc, 2) << "x, energy "
+            << Table::fmt(100.0 * (1.0 - rf.energy.total_pj() /
+                                             rb.energy.total_pj()),
+                          1)
+            << "% lower\n";
+  return 0;
+}

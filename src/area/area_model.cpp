@@ -1,0 +1,68 @@
+#include "area/area_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fgnvm::area {
+
+double decoder_transistors(std::uint64_t rows) {
+  if (rows < 2) return 0.0;
+  const double n = static_cast<double>(rows);
+  const double addr_bits = std::log2(n);
+  // Predecode: pairs of address bits into one-hot groups (4 transistors per
+  // 2-input gate, n_groups * 4 outputs); final stage: one NAND of
+  // ~addr_bits/2 inputs plus a 2-transistor driver per row.
+  const double predecode = 4.0 * addr_bits * std::sqrt(n);
+  const double final_stage = n * (addr_bits + 2.0);
+  return predecode + final_stage;
+}
+
+AreaReport fgnvm_area(std::uint64_t sags, std::uint64_t cds,
+                      std::uint64_t rows, const AreaParams& params) {
+  AreaReport r;
+  r.sags = sags;
+  r.cds = cds;
+
+  // The predecoder and per-row final gates are shared/unchanged when the
+  // decoder is split per SAG (each row still has one driver). The additions
+  // are per-SAG: an enable gate on the final stage plus a mux that selects
+  // which row-address latch feeds the decoder — a few tens of transistors
+  // per SAG against millions in the decoder itself ("N/A" in Table 1).
+  const double addr_bits = std::log2(static_cast<double>(rows));
+  r.row_decoder_delta_transistors =
+      static_cast<double>(sags) * (4.0 * addr_bits + 8.0);
+
+  r.row_latches_um2 = static_cast<double>(sags) *
+                      static_cast<double>(params.row_addr_bits) *
+                      params.row_latch_bit_um2;
+  r.csl_latches_um2 =
+      static_cast<double>(cds) * params.csl_register_um2 +
+      static_cast<double>(sags) * static_cast<double>(cds) *
+          params.csl_enable_latch_um2;
+
+  const double pitch_um = params.wire_pitch_f * params.feature_nm / 1000.0;
+  const double bus_width_um =
+      static_cast<double>(sags) * static_cast<double>(cds) * pitch_um;
+  const double full_mm2 = (bus_width_um / 1000.0) * params.bank_length_mm;
+  r.lysel_wires_best_mm2 = 0.0;
+  r.lysel_wires_worst_mm2 = full_mm2 * params.worst_case_routed_fraction;
+
+  r.total_best_um2 = r.row_latches_um2 + r.csl_latches_um2;
+  r.total_worst_mm2 = r.total_best_um2 / 1e6 + r.lysel_wires_worst_mm2;
+  r.total_best_fraction = (r.total_best_um2 / 1e6) / params.bank_area_mm2;
+  r.total_worst_fraction = r.total_worst_mm2 / params.bank_area_mm2;
+  return r;
+}
+
+std::string AreaReport::to_string() const {
+  std::ostringstream os;
+  os << sags << "x" << cds << ": row latches " << row_latches_um2
+     << " um^2, CSL latches " << csl_latches_um2 << " um^2, LY-SEL wires "
+     << lysel_wires_best_mm2 << ".." << lysel_wires_worst_mm2
+     << " mm^2, total " << total_best_um2 << " um^2 .. " << total_worst_mm2
+     << " mm^2 (" << total_best_fraction * 100.0 << "%.."
+     << total_worst_fraction * 100.0 << "% of bank)";
+  return os.str();
+}
+
+}  // namespace fgnvm::area

@@ -1,0 +1,69 @@
+// Analytical area-overhead model for the FgNVM bank (paper Section 5.1,
+// Table 1).
+//
+// Components:
+//  * Row decoder — two-stage (predecode + final) decoder whose transistor
+//    count grows as O(N log N); splitting one N-row decoder into S decoders
+//    of N/S rows changes the count negligibly. Reported as a transistor
+//    delta; the paper lists it as "N/A" (negligible area).
+//  * Row latches — one row-address latch per SAG so each SAG can hold an
+//    independently open row (Multi-Activation). Modeled as
+//    sags * row_addr_bits * latch_bit_area, with the per-bit area calibrated
+//    to the paper's TSMC-45nm synthesis result (2,325 um^2 for 8x8).
+//  * CSL latches — per-CD column-select registers plus a one-hot per-SAG
+//    enable latch in every CD. Modeled as
+//    cds * csl_register_area + sags * cds * enable_latch_area, with both
+//    constants calibrated to the paper's two data points (636.3 / 4,242 um^2).
+//  * LY-SEL enable wires — sags*cds one-hot enables at a 6F metal3 pitch
+//    stretched over the bank length. Best case they route over the tiles
+//    with the global I/O lines (zero overhead); worst case a fraction must
+//    route beside the array. NOTE: the paper's own arithmetic here is
+//    internally inconsistent (32*32 wires at 270 nm pitch over a 4 mm bank
+//    is ~1.1 mm^2, not the quoted 0.1 mm^2); we keep the parametric model
+//    and default `worst_case_routed_fraction` so the headline 0.1 mm^2 is
+//    reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fgnvm::area {
+
+struct AreaParams {
+  double feature_nm = 45.0;
+  std::uint64_t row_addr_bits = 17;      // 128k-row bank address
+  double row_latch_bit_um2 = 17.1;       // calibrated: 8*17*x = 2325
+  double csl_register_um2 = 61.91;       // calibrated (see header comment)
+  double csl_enable_latch_um2 = 2.209;   // calibrated (see header comment)
+  double wire_pitch_f = 6.0;             // wire + spacing in features
+  double bank_length_mm = 4.0;           // ISSCC'12 prototype bank length
+  double bank_area_mm2 = 30.6;           // for percentage-of-bank reporting
+  double worst_case_routed_fraction = 0.09;  // see header comment
+};
+
+struct AreaReport {
+  std::uint64_t sags = 0;
+  std::uint64_t cds = 0;
+  double row_decoder_delta_transistors = 0.0;  // vs. monolithic decoder
+  double row_latches_um2 = 0.0;
+  double csl_latches_um2 = 0.0;
+  double lysel_wires_best_mm2 = 0.0;
+  double lysel_wires_worst_mm2 = 0.0;
+  double total_best_um2 = 0.0;   // latches only (wires routed over tiles)
+  double total_worst_mm2 = 0.0;  // latches + routed wires
+  double total_best_fraction = 0.0;   // of bank area
+  double total_worst_fraction = 0.0;  // of bank area
+
+  std::string to_string() const;
+};
+
+/// Two-stage row-decoder transistor count for an N-row bank (Rabaey-style
+/// estimate: predecoder plus N final NAND+driver stages of log2 N inputs).
+double decoder_transistors(std::uint64_t rows);
+
+/// Area overheads of an sags x cds FgNVM bank with `rows` rows.
+AreaReport fgnvm_area(std::uint64_t sags, std::uint64_t cds,
+                      std::uint64_t rows = 1ULL << 17,
+                      const AreaParams& params = {});
+
+}  // namespace fgnvm::area

@@ -1,0 +1,89 @@
+#include "cache/cache.hpp"
+
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace fgnvm::cache {
+
+void CacheParams::validate() const {
+  if (!is_pow2(size_bytes) || !is_pow2(line_bytes) || !is_pow2(ways)) {
+    throw std::invalid_argument("CacheParams: sizes must be powers of two");
+  }
+  if (size_bytes < line_bytes * ways) {
+    throw std::invalid_argument("CacheParams: fewer than one set");
+  }
+}
+
+SetAssocCache::SetAssocCache(const CacheParams& params) : params_(params) {
+  params_.validate();
+  lines_.resize(params_.num_sets() * params_.ways);
+}
+
+std::uint64_t SetAssocCache::set_of(Addr addr) const {
+  return (addr / params_.line_bytes) % params_.num_sets();
+}
+
+std::uint64_t SetAssocCache::tag_of(Addr addr) const {
+  return (addr / params_.line_bytes) / params_.num_sets();
+}
+
+Addr SetAssocCache::rebuild(std::uint64_t tag, std::uint64_t set) const {
+  return (tag * params_.num_sets() + set) * params_.line_bytes;
+}
+
+bool SetAssocCache::probe(Addr addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * params_.ways];
+  for (std::uint64_t w = 0; w < params_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+AccessOutcome SetAssocCache::access(Addr addr, bool is_write) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * params_.ways];
+
+  for (std::uint64_t w = 0; w < params_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru = tick_;
+      line.dirty = line.dirty || is_write;
+      return AccessOutcome{true, std::nullopt};
+    }
+  }
+
+  ++stats_.misses;
+  // Victim: invalid way if any, else least recently used.
+  Line* victim = &base[0];
+  for (std::uint64_t w = 0; w < params_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+
+  AccessOutcome out{false, std::nullopt};
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      out.writeback = rebuild(victim->tag, set);
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = tick_;
+  return out;
+}
+
+}  // namespace fgnvm::cache

@@ -1,0 +1,70 @@
+#include "cache/hierarchy.hpp"
+
+namespace fgnvm::cache {
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams& params) {
+  levels_.emplace_back(params.l1);
+  levels_.emplace_back(params.l2);
+  levels_.emplace_back(params.l3);
+}
+
+void CacheHierarchy::spill(std::size_t level, Addr victim,
+                           std::vector<trace::TraceRecord>& mem_ops) {
+  // A dirty victim from `level` is written into the next level down; dirty
+  // victims it displaces cascade recursively. Out of the LLC it becomes a
+  // memory write.
+  if (level + 1 >= levels_.size()) {
+    mem_ops.push_back({0, victim, OpType::kWrite});
+    return;
+  }
+  const AccessOutcome out =
+      levels_[level + 1].access(victim, /*is_write=*/true);
+  if (out.writeback) spill(level + 1, *out.writeback, mem_ops);
+}
+
+std::vector<trace::TraceRecord> CacheHierarchy::access(Addr addr, OpType op) {
+  std::vector<trace::TraceRecord> mem_ops;
+  const bool is_write = (op == OpType::kWrite);
+
+  // Walk down until a level hits; dirty victims cascade toward memory.
+  bool missed_all = true;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const AccessOutcome out = levels_[i].access(addr, is_write && i == 0);
+    if (out.writeback) spill(i, *out.writeback, mem_ops);
+    if (out.hit) {
+      missed_all = false;
+      break;
+    }
+  }
+  if (missed_all) {
+    mem_ops.push_back({0, addr, OpType::kRead});
+  }
+  return mem_ops;
+}
+
+double CacheHierarchy::llc_mpki(std::uint64_t instructions) const {
+  if (instructions == 0) return 0.0;
+  return 1000.0 * static_cast<double>(levels_.back().stats().misses) /
+         static_cast<double>(instructions);
+}
+
+trace::Trace filter_trace(const trace::Trace& raw, CacheHierarchy& hierarchy) {
+  trace::Trace out;
+  out.name = raw.name + ".llc";
+  std::uint64_t pending_gap = 0;
+  for (const trace::TraceRecord& r : raw.records) {
+    pending_gap += r.icount_gap;
+    auto mem_ops = hierarchy.access(r.addr, r.op);
+    for (trace::TraceRecord& m : mem_ops) {
+      m.icount_gap = pending_gap;
+      pending_gap = 0;
+      out.records.push_back(m);
+    }
+    // The filtered-out instruction still executed.
+    if (mem_ops.empty()) pending_gap += 1;
+  }
+  out.tail_icount = pending_gap + raw.tail_icount;
+  return out;
+}
+
+}  // namespace fgnvm::cache

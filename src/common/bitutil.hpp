@@ -1,0 +1,38 @@
+// Small bit-manipulation helpers used by address decoders and geometry code.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace fgnvm {
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power-of-two value.
+constexpr unsigned log2_exact(std::uint64_t v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Ceiling of log2; log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t v) {
+  assert(v != 0);
+  return v == 1 ? 0u : static_cast<unsigned>(64 - std::countl_zero(v - 1));
+}
+
+/// Extracts `width` bits of `v` starting at bit `lsb`.
+constexpr std::uint64_t bits(std::uint64_t v, unsigned lsb, unsigned width) {
+  assert(width <= 64);
+  const std::uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  return (v >> lsb) & mask;
+}
+
+/// Rounds `v` up to the next multiple of `align` (align must be pow2).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace fgnvm

@@ -1,0 +1,60 @@
+// Lightweight key=value configuration store (NVMain-style .config files).
+//
+// Values are stored as strings and converted on access. Components read their
+// parameters through typed getters with defaults, so a config file only needs
+// to name the parameters it overrides.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fgnvm {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key value" / "key=value" lines; '#' and ';' start comments.
+  /// Later assignments override earlier ones. Throws std::runtime_error on
+  /// malformed lines.
+  static Config from_string(const std::string& text);
+
+  /// Loads a config file from disk. Throws std::runtime_error on I/O error.
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  void set_u64(const std::string& key, std::uint64_t value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters; throw std::runtime_error if present but malformed.
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// Getters that throw if the key is missing.
+  std::string require_string(const std::string& key) const;
+  std::uint64_t require_u64(const std::string& key) const;
+
+  /// All keys in sorted order (for dumping / diffing configs).
+  std::vector<std::string> keys() const;
+
+  /// Overlays `other` on top of this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  /// Serializes to "key = value" lines in sorted key order.
+  std::string to_string() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fgnvm

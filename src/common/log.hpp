@@ -1,0 +1,60 @@
+// Minimal leveled logger. Simulation hot paths never log; this exists for
+// experiment harness progress lines and debug tracing of command streams.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fgnvm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kError, os.str());
+}
+
+}  // namespace fgnvm

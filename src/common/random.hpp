@@ -1,0 +1,84 @@
+// Deterministic xoshiro256** PRNG.
+//
+// Every stochastic component of the simulator (workload generators, cache
+// replacement, …) draws from a seeded instance of this generator so that
+// experiments are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace fgnvm {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      // splitmix64 step
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free-enough mapping; bias is
+    // negligible for simulation workload purposes but we reject to be exact.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Geometric-ish gap: integer in [1, 2*mean] approximately averaging mean.
+  std::uint64_t next_gap(std::uint64_t mean) {
+    if (mean <= 1) return 1;
+    return 1 + next_below(2 * mean - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fgnvm

@@ -1,0 +1,171 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fgnvm {
+
+void Distribution::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+void Distribution::merge(const Distribution& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ = m2_ + other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  mean_ = (mean_ * n1 + other.mean_ * n2) / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Distribution::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t num_buckets, double bucket_width)
+    : buckets_(num_buckets, 0), bucket_width_(bucket_width) {}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < 0) sample = 0;
+  const auto idx = static_cast<std::size_t>(sample / bucket_width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() != buckets_.size() ||
+      other.bucket_width_ != bucket_width_) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double target = fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double within = (target - cum) / static_cast<double>(buckets_[i]);
+      return (static_cast<double>(i) + within) * bucket_width_;
+    }
+    cum = next;
+  }
+  return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+void StatSet::inc(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void StatSet::set(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void StatSet::sample(const std::string& name, double value) {
+  dists_[name].add(value);
+}
+
+void StatSet::hsample(const std::string& name, double value,
+                      std::size_t num_buckets, double bucket_width) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, Histogram(num_buckets, bucket_width)).first;
+  }
+  it->second.add(value);
+}
+
+const Histogram& StatSet::histogram(const std::string& name) const {
+  static const Histogram kEmpty(1, 1.0);
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t StatSet::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Distribution& StatSet::distribution(const std::string& name) const {
+  static const Distribution kEmpty;
+  const auto it = dists_.find(name);
+  return it == dists_.end() ? kEmpty : it->second;
+}
+
+void StatSet::merge(const StatSet& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, dist] : other.dists_) dists_[name].merge(dist);
+  for (const auto& [name, hist] : other.hists_) {
+    const auto it = hists_.find(name);
+    if (it == hists_.end()) {
+      hists_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+void StatSet::clear() {
+  counters_.clear();
+  dists_.clear();
+  hists_.clear();
+}
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, dist] : dists_) {
+    os << name << " = {n=" << dist.count() << " mean=" << dist.mean()
+       << " min=" << dist.min() << " max=" << dist.max() << "}\n";
+  }
+  return os.str();
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace fgnvm

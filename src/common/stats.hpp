@@ -1,0 +1,122 @@
+// Statistics accumulators used throughout the simulator.
+//
+// Components register named counters/distributions in a StatSet; experiment
+// runners snapshot and print them. All accumulators are plain value types.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgnvm {
+
+/// Online accumulator for a scalar sample stream: count / sum / min / max /
+/// mean, plus variance via Welford's algorithm.
+class Distribution {
+ public:
+  void add(double sample);
+
+  /// Folds another distribution in: count/sum/min/max/mean merge exactly,
+  /// variance via the parallel Welford combination.
+  void merge(const Distribution& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets), with an
+/// overflow bucket. Used for request-latency distributions.
+class Histogram {
+ public:
+  Histogram() : Histogram(64, 16.0) {}
+  Histogram(std::size_t num_buckets, double bucket_width);
+
+  void add(double sample);
+
+  /// Folds another histogram in; shapes must match.
+  void merge(const Histogram& other);
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  double bucket_width() const { return bucket_width_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Value below which `fraction` of samples fall (linear interpolation
+  /// within a bucket). fraction in [0,1].
+  double percentile(double fraction) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  double bucket_width_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// A named bag of counters and distributions. Keys are hierarchical
+/// dot-separated names, e.g. "bank0.acts.partial".
+class StatSet {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero).
+  void inc(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets the named counter to an absolute value.
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Adds a sample to the named distribution (creating it).
+  void sample(const std::string& name, double value);
+
+  /// Adds a sample to the named histogram (creating it with the given
+  /// shape on first use; later calls ignore the shape arguments).
+  void hsample(const std::string& name, double value,
+               std::size_t num_buckets = 256, double bucket_width = 8.0);
+
+  /// Returns counter value, or 0 if absent.
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Returns the distribution for `name` (empty one if absent).
+  const Distribution& distribution(const std::string& name) const;
+
+  /// Returns the histogram for `name` (empty one if absent).
+  const Histogram& histogram(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Distribution>& distributions() const { return dists_; }
+  const std::map<std::string, Histogram>& histograms() const { return hists_; }
+
+  /// Merges all entries of `other` into this set (counters add;
+  /// distributions combine exactly via Distribution::merge).
+  void merge(const StatSet& other);
+
+  void clear();
+
+  /// Renders "name = value" lines, counters then distributions.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Distribution> dists_;
+  std::map<std::string, Histogram> hists_;
+};
+
+/// Geometric mean of a vector of positive values; returns 0 on empty input.
+double geometric_mean(const std::vector<double>& values);
+
+/// Arithmetic mean; returns 0 on empty input.
+double arithmetic_mean(const std::vector<double>& values);
+
+}  // namespace fgnvm

@@ -1,0 +1,35 @@
+// Fundamental scalar types shared across the FgNVM simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fgnvm {
+
+/// A point in time or a duration, measured in memory-controller clock cycles.
+using Cycle = std::uint64_t;
+
+/// A physical byte address.
+using Addr = std::uint64_t;
+
+/// Unique, monotonically increasing identifier for a memory request.
+using RequestId = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel for an invalid address.
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/// Memory operation kind as seen by the memory system.
+enum class OpType : std::uint8_t {
+  kRead,
+  kWrite,
+};
+
+/// Returns a short human-readable name ("R"/"W").
+constexpr const char* to_string(OpType op) {
+  return op == OpType::kRead ? "R" : "W";
+}
+
+}  // namespace fgnvm

@@ -1,0 +1,102 @@
+#include "cpu/rob_cpu.hpp"
+
+#include <algorithm>
+
+namespace fgnvm::cpu {
+
+CpuParams CpuParams::from_config(const Config& cfg) {
+  CpuParams p;
+  p.rob_entries = cfg.get_u64("rob_entries", p.rob_entries);
+  p.fetch_width = cfg.get_u64("fetch_width", p.fetch_width);
+  p.cpu_per_mem_clock = cfg.get_u64("cpu_per_mem_clock", p.cpu_per_mem_clock);
+  return p;
+}
+
+RobCpu::RobCpu(const trace::Trace& trace, const CpuParams& params,
+               sys::MemorySystem& mem, std::uint64_t hart)
+    : trace_(trace), params_(params), mem_(mem), hart_(hart) {
+  total_insts_ = trace.total_instructions();
+  if (!trace_.records.empty()) {
+    next_mem_inst_ = trace_.records[0].icount_gap;
+  }
+}
+
+void RobCpu::complete(const std::vector<mem::MemRequest>& done) {
+  for (const mem::MemRequest& r : done) {
+    if (r.is_read() && r.cpu_tag == hart_) completed_.insert(r.id);
+  }
+}
+
+bool RobCpu::finished() const { return retired_ >= total_insts_; }
+
+double RobCpu::ipc() const {
+  return cpu_cycles_ == 0 ? 0.0
+                          : static_cast<double>(retired_) /
+                                static_cast<double>(cpu_cycles_);
+}
+
+void RobCpu::do_retire() {
+  // Instructions retire in order up to the commit width; the oldest
+  // unanswered load fences retirement at its index.
+  while (!loads_.empty() && completed_.count(loads_.front().request)) {
+    completed_.erase(loads_.front().request);
+    loads_.pop_front();
+  }
+  const std::uint64_t fence =
+      loads_.empty() ? fetched_ : loads_.front().inst_index;
+  const std::uint64_t limit = std::min(fence, fetched_);
+  retired_ = std::min(retired_ + params_.fetch_width, limit);
+}
+
+void RobCpu::do_fetch(Cycle mem_now) {
+  std::uint64_t budget = params_.fetch_width;
+  while (budget > 0 && fetched_ < total_insts_) {
+    if (fetched_ - retired_ >= params_.rob_entries) {
+      ++fetch_stalls_;
+      return;  // ROB full
+    }
+    if (next_rec_ < trace_.records.size() && fetched_ == next_mem_inst_) {
+      const trace::TraceRecord& rec = trace_.records[next_rec_];
+      if (!mem_.can_accept(rec.addr, rec.op)) {
+        ++backpressure_;
+        return;  // memory queue backpressure stalls fetch
+      }
+      const RequestId id = mem_.submit(rec.addr, rec.op, mem_now, hart_);
+      if (rec.op == OpType::kRead) {
+        loads_.push_back(PendingLoad{fetched_, id});
+      }
+      ++fetched_;
+      --budget;
+      ++next_rec_;
+      if (next_rec_ < trace_.records.size()) {
+        next_mem_inst_ = fetched_ + trace_.records[next_rec_].icount_gap;
+      }
+      continue;
+    }
+    // Bulk-fetch plain instructions up to the next memory op.
+    const std::uint64_t until_mem = next_rec_ < trace_.records.size()
+                                        ? next_mem_inst_ - fetched_
+                                        : total_insts_ - fetched_;
+    const std::uint64_t rob_space =
+        params_.rob_entries - (fetched_ - retired_);
+    const std::uint64_t n = std::min({budget, until_mem, rob_space});
+    fetched_ += n;
+    budget -= n;
+    if (n == 0) return;
+  }
+}
+
+void RobCpu::run_cpu_cycle(Cycle mem_now) {
+  do_retire();
+  do_fetch(mem_now);
+  ++cpu_cycles_;
+}
+
+void RobCpu::tick_mem_cycle(Cycle mem_now) {
+  for (std::uint64_t i = 0; i < params_.cpu_per_mem_clock; ++i) {
+    if (finished()) return;
+    run_cpu_cycle(mem_now);
+  }
+}
+
+}  // namespace fgnvm::cpu

@@ -1,0 +1,86 @@
+// ROB-occupancy CPU model (USIMM-style), substituting for the paper's gem5
+// Nehalem-like core.
+//
+// The model captures exactly what a memory-architecture study needs from the
+// core: a 4-wide fetch/commit front-end, a reorder buffer that bounds
+// memory-level parallelism, loads that block retirement at the ROB head
+// until the memory system answers, and posted stores that only stall the
+// core through write-queue backpressure. IPC falls out as instructions
+// retired per core cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "sys/memory_system.hpp"
+#include "trace/trace.hpp"
+
+namespace fgnvm::cpu {
+
+struct CpuParams {
+  std::uint64_t rob_entries = 128;
+  std::uint64_t fetch_width = 4;   // also the commit width
+  std::uint64_t cpu_per_mem_clock = 8;  // 3.2 GHz core / 400 MHz memory
+
+  static CpuParams from_config(const Config& cfg);
+};
+
+class RobCpu {
+ public:
+  /// The trace must outlive the CPU. The memory system is shared with the
+  /// simulation driver, which ticks it separately. `hart` identifies this
+  /// core when several share one memory system: submissions are tagged with
+  /// it and complete() ignores other harts' requests.
+  RobCpu(const trace::Trace& trace, const CpuParams& params,
+         sys::MemorySystem& mem, std::uint64_t hart = 0);
+
+  /// Marks this hart's read requests answered by the memory as complete.
+  void complete(const std::vector<mem::MemRequest>& done);
+
+  std::uint64_t hart() const { return hart_; }
+
+  /// Runs `cpu_per_mem_clock` core cycles; memory submissions are stamped
+  /// with `mem_now`. No-op once finished.
+  void tick_mem_cycle(Cycle mem_now);
+
+  bool finished() const;
+
+  std::uint64_t instructions_retired() const { return retired_; }
+  std::uint64_t total_instructions() const { return total_insts_; }
+  std::uint64_t cpu_cycles() const { return cpu_cycles_; }
+  double ipc() const;
+
+  std::uint64_t fetch_stall_cycles() const { return fetch_stalls_; }
+  std::uint64_t mem_backpressure_stalls() const { return backpressure_; }
+
+ private:
+  void run_cpu_cycle(Cycle mem_now);
+  void do_retire();
+  void do_fetch(Cycle mem_now);
+
+  struct PendingLoad {
+    std::uint64_t inst_index;  // global index of the load instruction
+    RequestId request;
+  };
+
+  const trace::Trace& trace_;
+  CpuParams params_;
+  sys::MemorySystem& mem_;
+  std::uint64_t hart_ = 0;
+
+  std::uint64_t total_insts_ = 0;
+  std::uint64_t next_rec_ = 0;        // next trace record to issue
+  std::uint64_t next_mem_inst_ = 0;   // instruction index of that record
+  std::uint64_t fetched_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t cpu_cycles_ = 0;
+  std::uint64_t fetch_stalls_ = 0;
+  std::uint64_t backpressure_ = 0;
+
+  std::deque<PendingLoad> loads_;            // in program order
+  std::unordered_set<RequestId> completed_;  // answered but not yet retired
+};
+
+}  // namespace fgnvm::cpu

@@ -1,0 +1,138 @@
+#include "dram/dram_bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fgnvm::dram {
+
+mem::TimingParams ddr3_timing(double clock_mhz) {
+  mem::TimingParams t;
+  t.clock_mhz = clock_mhz;
+  t.tRCD = t.ns_to_cycles(13.75);
+  t.tCAS = t.ns_to_cycles(13.75);
+  t.tRP = t.ns_to_cycles(13.75);
+  t.tRAS = t.ns_to_cycles(35.0);
+  t.tCWD = t.ns_to_cycles(7.5);
+  t.tWP = 0;  // DRAM writes go to the row buffer, no program pulse
+  t.tWR = t.ns_to_cycles(15.0);
+  t.tCCD = 4;
+  t.tBURST = 4;
+  t.tRFC = t.ns_to_cycles(260.0);
+  t.tREFI = t.ns_to_cycles(7800.0);
+  return t;
+}
+
+DramBank::DramBank(const mem::MemGeometry& geometry,
+                   const mem::TimingParams& timing)
+    : geo_(geometry), timing_(timing), subs_(geometry.num_sags) {
+  if (geometry.num_cds != 1) {
+    throw std::runtime_error(
+        "DramBank: DRAM cannot subdivide columns (num_cds must be 1)");
+  }
+  next_refresh_ = timing_.tREFI;  // first refresh one interval in
+}
+
+Cycle DramBank::refresh_clear(Cycle t) const {
+  if (timing_.tREFI == 0) return t;
+  // Perform any refreshes whose deadline has passed; each occupies the
+  // whole bank for tRFC. Deadlines stack if the bank was queried rarely.
+  while (next_refresh_ <= t) {
+    const Cycle start = std::max(next_refresh_, refresh_busy_until_);
+    refresh_busy_until_ = start + timing_.tRFC;
+    next_refresh_ += timing_.tREFI;
+    ++refreshes_;
+  }
+  return std::max(t, refresh_busy_until_);
+}
+
+bool DramBank::segments_sensed(const mem::DecodedAddr& a) const {
+  return subs_[a.sag].open_row == a.row;
+}
+
+bool DramBank::row_open(const mem::DecodedAddr& a) const {
+  return segments_sensed(a);
+}
+
+Cycle DramBank::earliest_activate(const mem::DecodedAddr& a, nvm::ActPurpose,
+                                  Cycle now, std::uint64_t) const {
+  const Subarray& s = subs_[a.sag];
+  Cycle t = refresh_clear(now);
+  if (s.open_row != kInvalidAddr && s.open_row != a.row) {
+    // A row switch precharges implicitly (ACT with auto-precharge-style
+    // sequencing): the command can issue once restore (tRAS) and write
+    // recovery (tWR) are done; the tRP delay lands inside issue_activate.
+    t = std::max({t, s.ras_until, s.wr_until});
+  }
+  // Re-activating the same subarray mid-sense is not possible, and an
+  // explicit (closed-page) precharge must have settled.
+  t = std::max({t, s.act_done, s.pre_done});
+  return t;
+}
+
+void DramBank::issue_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
+                              Cycle at, std::uint64_t) {
+  assert(at >= earliest_activate(a, p, at));
+  (void)p;
+  Subarray& s = subs_[a.sag];
+  // Row switch pays the precharge before sensing begins.
+  const Cycle pre =
+      (s.open_row != kInvalidAddr && s.open_row != a.row) ? timing_.tRP : 0;
+  s.open_row = a.row;
+  s.act_done = at + pre + timing_.tRCD;
+  s.ras_until = at + pre + timing_.tRAS;
+  s.wr_until = 0;
+  // DRAM sensing is destructive: the full row is always sensed/restored,
+  // regardless of what the request needs.
+  ++stats_.acts_for_read;
+  stats_.bits_sensed += geo_.row_bytes * 8;
+}
+
+Cycle DramBank::earliest_column(const mem::DecodedAddr& a, OpType op,
+                                Cycle now) const {
+  const Subarray& s = subs_[a.sag];
+  Cycle t = refresh_clear(now);
+  t = std::max(t, s.act_done);
+  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
+  (void)op;
+  return t;
+}
+
+Cycle DramBank::issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) {
+  assert(at >= earliest_column(a, op, at));
+  Subarray& s = subs_[a.sag];
+  assert(s.open_row == a.row);
+  last_col_ = at;
+  any_col_issued_ = true;
+  if (op == OpType::kRead) {
+    ++stats_.reads;
+    return at + timing_.tCAS;
+  }
+  // Write lands in the row buffer; restore happens on precharge. The bank
+  // is reusable immediately after the burst, but precharge waits for tWR.
+  const Cycle data_end = at + timing_.tCWD + timing_.tBURST;
+  s.wr_until = data_end + timing_.tWR;
+  ++stats_.writes;
+  stats_.bits_written += geo_.line_bytes * 8;
+  return data_end;
+}
+
+void DramBank::close_row(const mem::DecodedAddr& a, Cycle at) {
+  Subarray& s = subs_[a.sag];
+  if (s.open_row != a.row) return;
+  // Explicit precharge: waits for restore and write recovery, then tRP.
+  const Cycle start = std::max({at, s.ras_until, s.wr_until});
+  s.pre_done = start + timing_.tRP;
+  s.open_row = kInvalidAddr;
+  s.wr_until = 0;
+}
+
+Cycle DramBank::busy_until() const {
+  Cycle t = refresh_busy_until_;
+  for (const Subarray& s : subs_) {
+    t = std::max({t, s.act_done, s.wr_until});
+  }
+  return t;
+}
+
+}  // namespace fgnvm::dram

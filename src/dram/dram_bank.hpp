@@ -1,0 +1,75 @@
+// DRAM bank model with optional subarray-level parallelism (SALP).
+//
+// The comparison point the paper positions FgNVM against (Section 2):
+// DRAM reads are destructive, so every activation senses and must restore
+// the full row (tRAS before precharge), a precharge (tRP) separates row
+// switches, and periodic refresh (tREFI/tRFC) blocks the bank. SALP [Kim
+// et al., ISCA'12] gives each subarray its own row latch so activations in
+// different subarrays overlap — one-dimensional subdivision only; DRAM's
+// destructive sensing and charge-sharing make the CD dimension (partial
+// activation of a row) impractical, which is exactly the design space FgNVM
+// opens for NVM.
+//
+// Implements the same fgnvm::nvm::Bank interface so the controller and
+// runner work unchanged. Refresh is modeled as self-contained auto-refresh:
+// every tREFI the bank blocks for tRFC (pipelined catch-up when idle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nvm/bank.hpp"
+
+namespace fgnvm::dram {
+
+/// DDR3-1600-like timing expressed at the simulator's controller clock.
+mem::TimingParams ddr3_timing(double clock_mhz = 400.0);
+
+class DramBank final : public nvm::Bank {
+ public:
+  /// `geometry.num_sags` is the subarray count (1 == conventional DRAM
+  /// bank); `geometry.num_cds` must be 1 (no column subdivision in DRAM).
+  DramBank(const mem::MemGeometry& geometry, const mem::TimingParams& timing);
+
+  bool segments_sensed(const mem::DecodedAddr& a) const override;
+  bool row_open(const mem::DecodedAddr& a) const override;
+  Cycle earliest_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
+                          Cycle now, std::uint64_t extra_cds = 0) const override;
+  Cycle earliest_column(const mem::DecodedAddr& a, OpType op,
+                        Cycle now) const override;
+  void issue_activate(const mem::DecodedAddr& a, nvm::ActPurpose p, Cycle at,
+                      std::uint64_t extra_cds = 0) override;
+  Cycle issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) override;
+  void close_row(const mem::DecodedAddr& a, Cycle at) override;
+  Cycle busy_until() const override;
+  const nvm::BankStats& stats() const override { return stats_; }
+
+  std::uint64_t refreshes_performed() const { return refreshes_; }
+
+ private:
+  struct Subarray {
+    std::uint64_t open_row = kInvalidAddr;
+    Cycle act_done = 0;    // sensing complete (tRCD after ACT)
+    Cycle ras_until = 0;   // earliest precharge (restore complete)
+    Cycle wr_until = 0;    // write recovery before precharge
+    Cycle pre_done = 0;    // explicit (closed-page) precharge completes
+  };
+
+  /// Earliest cycle >= t not inside a refresh window; advances the refresh
+  /// schedule bookkeeping (mutable because queries may cross deadlines).
+  Cycle refresh_clear(Cycle t) const;
+
+  mem::MemGeometry geo_;
+  mem::TimingParams timing_;
+  std::vector<Subarray> subs_;
+  Cycle last_col_ = 0;
+  bool any_col_issued_ = false;
+
+  mutable Cycle next_refresh_ = 0;
+  mutable Cycle refresh_busy_until_ = 0;
+  mutable std::uint64_t refreshes_ = 0;
+
+  nvm::BankStats stats_;
+};
+
+}  // namespace fgnvm::dram

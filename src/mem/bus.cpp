@@ -1,0 +1,36 @@
+#include "mem/bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fgnvm::mem {
+
+DataBus::DataBus(std::uint64_t lanes) : next_free_(lanes == 0 ? 1 : lanes, 0) {}
+
+Cycle DataBus::earliest_start(Cycle earliest) const {
+  Cycle best = kNeverCycle;
+  for (const Cycle free_at : next_free_) {
+    best = std::min(best, std::max(earliest, free_at));
+  }
+  return best;
+}
+
+bool DataBus::available(Cycle start) const {
+  for (const Cycle free_at : next_free_) {
+    if (free_at <= start) return true;
+  }
+  return false;
+}
+
+std::uint64_t DataBus::reserve(Cycle start, Cycle duration) {
+  for (std::uint64_t lane = 0; lane < next_free_.size(); ++lane) {
+    if (next_free_[lane] <= start) {
+      next_free_[lane] = start + duration;
+      busy_cycles_ += duration;
+      return lane;
+    }
+  }
+  throw std::runtime_error("DataBus::reserve: no free lane at requested start");
+}
+
+}  // namespace fgnvm::mem

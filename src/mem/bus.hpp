@@ -1,0 +1,40 @@
+// Shared data-bus model.
+//
+// Each channel has one data bus; every read/write data burst occupies it for
+// tBURST cycles. The paper's Multi-Issue configuration widens the bus so that
+// several bursts can be in flight simultaneously — modeled as `lanes`
+// independent bus lanes. Column conflicts (Section 6) arise exactly from this
+// resource: FgNVM can sense many tiles in parallel but bursts serialize here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fgnvm::mem {
+
+class DataBus {
+ public:
+  explicit DataBus(std::uint64_t lanes = 1);
+
+  std::uint64_t lanes() const { return next_free_.size(); }
+
+  /// Earliest cycle >= `earliest` at which a burst of `duration` can start.
+  Cycle earliest_start(Cycle earliest) const;
+
+  /// Reserves a lane for [start, start+duration); `start` must come from
+  /// earliest_start (or be >= it). Returns the lane index used.
+  std::uint64_t reserve(Cycle start, Cycle duration);
+
+  /// True if a burst starting at `start` would not conflict.
+  bool available(Cycle start) const;
+
+  std::uint64_t total_busy_cycles() const { return busy_cycles_; }
+
+ private:
+  std::vector<Cycle> next_free_;  // per-lane first free cycle
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace fgnvm::mem

@@ -1,0 +1,165 @@
+#include "mem/geometry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace fgnvm::mem {
+
+MemGeometry MemGeometry::from_config(const Config& cfg) {
+  MemGeometry g;
+  g.channels = cfg.get_u64("channels", g.channels);
+  g.ranks_per_channel = cfg.get_u64("ranks", g.ranks_per_channel);
+  g.banks_per_rank = cfg.get_u64("banks", g.banks_per_rank);
+  g.rows_per_bank = cfg.get_u64("rows", g.rows_per_bank);
+  g.row_bytes = cfg.get_u64("row_bytes", g.row_bytes);
+  g.line_bytes = cfg.get_u64("line_bytes", g.line_bytes);
+  g.num_sags = cfg.get_u64("sags", g.num_sags);
+  g.num_cds = cfg.get_u64("cds", g.num_cds);
+  g.validate();
+  return g;
+}
+
+void MemGeometry::validate() const {
+  const auto check_pow2 = [](std::uint64_t v, const char* name) {
+    if (!is_pow2(v)) {
+      throw std::runtime_error(std::string("MemGeometry: ") + name +
+                               " must be a power of two, got " +
+                               std::to_string(v));
+    }
+  };
+  check_pow2(channels, "channels");
+  check_pow2(ranks_per_channel, "ranks");
+  check_pow2(banks_per_rank, "banks");
+  check_pow2(rows_per_bank, "rows");
+  check_pow2(row_bytes, "row_bytes");
+  check_pow2(line_bytes, "line_bytes");
+  check_pow2(num_sags, "sags");
+  check_pow2(num_cds, "cds");
+  if (line_bytes > row_bytes) {
+    throw std::runtime_error("MemGeometry: line_bytes > row_bytes");
+  }
+  if (num_sags > rows_per_bank) {
+    throw std::runtime_error("MemGeometry: more SAGs than rows");
+  }
+  // A CD must slice the row into at least one bit-addressable segment; allow
+  // segments smaller than a line (paper's 8x32) but not smaller than 8 bytes.
+  if (num_cds > row_bytes / 8) {
+    throw std::runtime_error("MemGeometry: too many CDs for row width");
+  }
+}
+
+std::string MemGeometry::to_string() const {
+  std::ostringstream os;
+  os << channels << "ch x " << ranks_per_channel << "rk x " << banks_per_rank
+     << "bk, " << rows_per_bank << " rows x " << row_bytes << "B, "
+     << num_sags << " SAGs x " << num_cds << " CDs";
+  return os.str();
+}
+
+const char* to_string(AddressMapping mapping) {
+  switch (mapping) {
+    case AddressMapping::kRowInterleaved: return "row_interleaved";
+    case AddressMapping::kBankInterleaved: return "bank_interleaved";
+    case AddressMapping::kPermuted: return "permuted";
+  }
+  return "?";
+}
+
+AddressMapping address_mapping_from_string(const std::string& name) {
+  if (name == "row_interleaved") return AddressMapping::kRowInterleaved;
+  if (name == "bank_interleaved") return AddressMapping::kBankInterleaved;
+  if (name == "permuted") return AddressMapping::kPermuted;
+  throw std::runtime_error("unknown address mapping: " + name);
+}
+
+AddressDecoder::AddressDecoder(const MemGeometry& geometry,
+                               AddressMapping mapping)
+    : geo_(geometry), mapping_(mapping) {
+  geo_.validate();
+  off_bits_ = log2_exact(geo_.line_bytes);
+  ch_bits_ = log2_exact(geo_.channels);
+  col_bits_ = log2_exact(geo_.lines_per_row());
+  bank_bits_ = log2_exact(geo_.banks_per_rank);
+  rank_bits_ = log2_exact(geo_.ranks_per_channel);
+  row_bits_ = log2_exact(geo_.rows_per_bank);
+}
+
+std::uint64_t AddressDecoder::permute_bank(std::uint64_t bank,
+                                           std::uint64_t row) const {
+  // XOR-fold the low row bits into the bank index; XOR is an involution,
+  // so encode/decode share this function.
+  const std::uint64_t mask = bank_bits_ ? (1ULL << bank_bits_) - 1 : 0;
+  return bank ^ (row & mask);
+}
+
+DecodedAddr AddressDecoder::decode(Addr addr) const {
+  DecodedAddr d;
+  d.addr = addr;
+  unsigned shift = off_bits_;
+  d.channel = bits(addr, shift, ch_bits_);
+  shift += ch_bits_;
+  if (mapping_ == AddressMapping::kBankInterleaved) {
+    d.bank = bits(addr, shift, bank_bits_);
+    shift += bank_bits_;
+    d.col = bits(addr, shift, col_bits_);
+    shift += col_bits_;
+  } else {
+    d.col = bits(addr, shift, col_bits_);
+    shift += col_bits_;
+    d.bank = bits(addr, shift, bank_bits_);
+    shift += bank_bits_;
+  }
+  d.rank = bits(addr, shift, rank_bits_);
+  shift += rank_bits_;
+  d.row = bits(addr, shift, row_bits_);
+  if (mapping_ == AddressMapping::kPermuted) {
+    d.bank = permute_bank(d.bank, d.row);
+  }
+
+  d.sag = d.row / geo_.rows_per_sag();
+  // Which CD slice(s) of the row hold this cache line.
+  const std::uint64_t seg_bytes = geo_.segment_bytes();
+  const std::uint64_t line_offset = d.col * geo_.line_bytes;
+  if (seg_bytes >= geo_.line_bytes) {
+    d.cd = line_offset / seg_bytes;
+    d.cd_count = 1;
+  } else {
+    d.cd = line_offset / seg_bytes;
+    d.cd_count = geo_.segments_per_line();
+  }
+  return d;
+}
+
+Addr AddressDecoder::encode(std::uint64_t channel, std::uint64_t rank,
+                            std::uint64_t bank, std::uint64_t row,
+                            std::uint64_t col) const {
+  const auto mask = [](unsigned width) -> std::uint64_t {
+    return width == 0 ? 0 : (width >= 64 ? ~0ULL : (1ULL << width) - 1);
+  };
+  if (mapping_ == AddressMapping::kPermuted) {
+    bank = permute_bank(bank, row);  // involution: undoes the decode fold
+  }
+  Addr addr = 0;
+  unsigned shift = off_bits_;
+  addr |= (channel & mask(ch_bits_)) << shift;
+  shift += ch_bits_;
+  if (mapping_ == AddressMapping::kBankInterleaved) {
+    addr |= (bank & mask(bank_bits_)) << shift;
+    shift += bank_bits_;
+    addr |= (col & mask(col_bits_)) << shift;
+    shift += col_bits_;
+  } else {
+    addr |= (col & mask(col_bits_)) << shift;
+    shift += col_bits_;
+    addr |= (bank & mask(bank_bits_)) << shift;
+    shift += bank_bits_;
+  }
+  addr |= (rank & mask(rank_bits_)) << shift;
+  shift += rank_bits_;
+  addr |= (row & mask(row_bits_)) << shift;
+  return addr;
+}
+
+}  // namespace fgnvm::mem

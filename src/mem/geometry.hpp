@@ -1,0 +1,124 @@
+// Memory-system geometry and physical address decoding.
+//
+// The simulated memory follows the paper's hierarchy: channel → rank → bank →
+// (SAG × CD) grid of memory tiles. A bank's row is `row_bytes` wide and holds
+// `lines_per_row` cache lines; column divisions (CDs) slice the row into
+// `num_cds` segments, subarray groups (SAGs) slice the bank's rows into
+// `num_sags` groups of contiguous rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace fgnvm::mem {
+
+/// Static shape of the memory system. All counts must be powers of two.
+struct MemGeometry {
+  std::uint64_t channels = 1;
+  std::uint64_t ranks_per_channel = 1;
+  std::uint64_t banks_per_rank = 8;
+  std::uint64_t rows_per_bank = 4096;
+  std::uint64_t row_bytes = 1024;   // paper: 1KB sensed by a baseline ACT
+  std::uint64_t line_bytes = 64;    // cache-line / column-access granularity
+  std::uint64_t num_sags = 1;       // subarray groups (1 == baseline bank)
+  std::uint64_t num_cds = 1;        // column divisions (1 == baseline bank)
+
+  /// Builds from a Config (keys: channels, ranks, banks, rows, row_bytes,
+  /// line_bytes, sags, cds). Throws std::runtime_error if invalid.
+  static MemGeometry from_config(const Config& cfg);
+
+  /// Validates the power-of-two and divisibility invariants; throws
+  /// std::runtime_error describing the first violation.
+  void validate() const;
+
+  std::uint64_t lines_per_row() const { return row_bytes / line_bytes; }
+  std::uint64_t rows_per_sag() const { return rows_per_bank / num_sags; }
+  std::uint64_t total_banks() const {
+    return channels * ranks_per_channel * banks_per_rank;
+  }
+  std::uint64_t bytes_per_bank() const { return rows_per_bank * row_bytes; }
+  std::uint64_t total_bytes() const { return total_banks() * bytes_per_bank(); }
+
+  /// Bytes sensed by one (partial) activation: one CD's slice of a row.
+  std::uint64_t segment_bytes() const { return row_bytes / num_cds; }
+
+  /// Number of CD segments one cache line spans (≥ 1; > 1 when the segment is
+  /// smaller than a line, e.g. the paper's 8×32 configuration).
+  std::uint64_t segments_per_line() const {
+    const std::uint64_t seg = segment_bytes();
+    return seg >= line_bytes ? 1 : line_bytes / seg;
+  }
+
+  std::string to_string() const;
+};
+
+/// A fully decoded physical address.
+struct DecodedAddr {
+  Addr addr = 0;
+  std::uint64_t channel = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t bank = 0;
+  std::uint64_t row = 0;   // row within the bank
+  std::uint64_t col = 0;   // cache-line index within the row
+  std::uint64_t sag = 0;   // subarray group of `row`
+  std::uint64_t cd = 0;    // first column division covering `col`
+  std::uint64_t cd_count = 1;  // number of CDs a line access touches
+
+  bool same_bank(const DecodedAddr& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank;
+  }
+  bool same_row(const DecodedAddr& o) const {
+    return same_bank(o) && row == o.row;
+  }
+};
+
+/// How physical address bits map onto the hierarchy.
+enum class AddressMapping : std::uint8_t {
+  /// [offset][channel][column][bank][rank][row] — consecutive lines walk a
+  /// row (open-page friendly); banks change at row-size strides.
+  kRowInterleaved,
+  /// [offset][channel][bank][column][rank][row] — consecutive lines stripe
+  /// across banks (bank-parallel, row locality sacrificed).
+  kBankInterleaved,
+  /// Row-interleaved, but the bank index is XOR-folded with low row bits
+  /// (permutation-based mapping, Zhang et al.): preserves row runs while
+  /// scattering same-bank conflicts of power-of-two strides.
+  kPermuted,
+};
+
+const char* to_string(AddressMapping mapping);
+AddressMapping address_mapping_from_string(const std::string& name);
+
+/// Maps physical byte addresses onto the hierarchy.
+class AddressDecoder {
+ public:
+  explicit AddressDecoder(const MemGeometry& geometry,
+                          AddressMapping mapping = AddressMapping::kRowInterleaved);
+
+  const MemGeometry& geometry() const { return geo_; }
+  AddressMapping mapping() const { return mapping_; }
+
+  DecodedAddr decode(Addr addr) const;
+
+  /// Inverse of decode() for the line-aligned part (offset bits zeroed):
+  /// encode(decode(a)) == a for line-aligned a under every mapping.
+  Addr encode(std::uint64_t channel, std::uint64_t rank, std::uint64_t bank,
+              std::uint64_t row, std::uint64_t col) const;
+
+ private:
+  std::uint64_t permute_bank(std::uint64_t bank, std::uint64_t row) const;
+
+  MemGeometry geo_;
+  AddressMapping mapping_;
+  unsigned off_bits_;
+  unsigned ch_bits_;
+  unsigned col_bits_;
+  unsigned bank_bits_;
+  unsigned rank_bits_;
+  unsigned row_bits_;
+};
+
+}  // namespace fgnvm::mem

@@ -1,0 +1,25 @@
+// Memory request as seen by the controller, plus per-request bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/geometry.hpp"
+
+namespace fgnvm::mem {
+
+struct MemRequest {
+  RequestId id = 0;
+  OpType op = OpType::kRead;
+  DecodedAddr addr;
+  Cycle arrival = 0;       // cycle the request entered the controller
+  Cycle completion = kNeverCycle;  // cycle data returned / write retired
+  std::uint64_t cpu_tag = 0;  // opaque tag for the CPU model (ROB slot etc.)
+
+  bool is_read() const { return op == OpType::kRead; }
+  bool is_write() const { return op == OpType::kWrite; }
+  bool done() const { return completion != kNeverCycle; }
+  Cycle latency() const { return done() ? completion - arrival : 0; }
+};
+
+}  // namespace fgnvm::mem

@@ -1,0 +1,68 @@
+// PCM device timing parameters (paper Table 2), converted to controller
+// clock cycles.
+//
+// The paper's parameters come from the 20nm 8Gb PCM prototype (Choi et al.,
+// ISSCC'12): sensing (tRCD) 25 ns, read CAS latency 95 ns, write pulse 150 ns.
+// PCM has no destructive read and no refresh, so tRAS and tRP are zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace fgnvm::mem {
+
+struct TimingParams {
+  double clock_mhz = 400.0;  // controller/device clock; 2.5 ns period
+
+  Cycle tRCD = 10;    // ACT -> column command (25 ns sensing)
+  Cycle tCAS = 38;    // READ -> first data beat (95 ns)
+  Cycle tRAS = 0;     // PCM: no restore phase
+  Cycle tRP = 0;      // PCM: no precharge
+  Cycle tCCD = 4;     // column command to column command, same bank
+  Cycle tBURST = 4;   // data burst length on the bus (BL8 @ DDR)
+  Cycle tCWD = 3;     // WRITE -> data beats at write drivers (7.5 ns)
+  Cycle tWP = 60;     // write (program) pulse (150 ns)
+  Cycle tWR = 3;      // write recovery after pulse (7.5 ns)
+
+  // DRAM-only parameters (zero disables refresh; PCM needs none).
+  Cycle tRFC = 0;     // refresh cycle time
+  Cycle tREFI = 0;    // refresh interval
+
+  /// Effective driver-bits programmed per tWP pulse across the rank.
+  /// Table 2 says "64 write drivers" without a scope; per device x 8
+  /// lockstep devices = 512 driver-bits, and PCM lines typically program in
+  /// two phases (RESET bits, then SET bits), giving an effective 256
+  /// bits/pulse — a 64B line takes 2 x tWP. The ablation_writes bench
+  /// sweeps this parameter; it interpolates between 1-pulse (70-cycle) and
+  /// 8-pulse (490-cycle) writes.
+  std::uint64_t write_drivers = 256;
+
+  /// Builds from a Config. ns-valued keys (tRCD_ns, tCAS_ns, tCWD_ns, tWP_ns,
+  /// tWR_ns) are converted at `clock_mhz`; cycle-valued keys (tCCD, tBURST)
+  /// are taken verbatim. Missing keys keep Table-2 defaults.
+  static TimingParams from_config(const Config& cfg);
+
+  double ns_per_cycle() const { return 1000.0 / clock_mhz; }
+  Cycle ns_to_cycles(double ns) const;
+
+  /// Number of sequential program pulses for `bits` of data.
+  Cycle write_pulses(std::uint64_t bits) const {
+    return (bits + write_drivers - 1) / write_drivers;
+  }
+
+  /// Total occupancy of a write at the drivers: data-in, one 150 ns pulse
+  /// per 64 driver-bits, recovery.
+  Cycle write_occupancy(std::uint64_t bits = 512) const {
+    return tCWD + tBURST + tWP * write_pulses(bits) + tWR;
+  }
+
+  /// READ command to end of data burst.
+  Cycle read_latency() const { return tCAS + tBURST; }
+
+  std::string to_string() const;
+};
+
+}  // namespace fgnvm::mem

@@ -1,0 +1,27 @@
+#include "nvm/energy.hpp"
+
+namespace fgnvm::nvm {
+
+EnergyParams EnergyParams::from_config(const Config& cfg) {
+  EnergyParams p;
+  p.read_pj_per_bit = cfg.get_double("read_pj_per_bit", p.read_pj_per_bit);
+  p.write_pj_per_bit = cfg.get_double("write_pj_per_bit", p.write_pj_per_bit);
+  p.background_pj_per_bank_cycle = cfg.get_double(
+      "background_pj_per_bank_cycle", p.background_pj_per_bank_cycle);
+  p.write_flip_fraction =
+      cfg.get_double("write_flip_fraction", p.write_flip_fraction);
+  return p;
+}
+
+EnergyBreakdown EnergyModel::bank_energy(const BankStats& stats,
+                                         Cycle elapsed) const {
+  EnergyBreakdown e;
+  e.sense_pj = params_.read_pj_per_bit * static_cast<double>(stats.bits_sensed);
+  e.write_pj = params_.write_pj_per_bit * params_.write_flip_fraction *
+               static_cast<double>(stats.bits_written);
+  e.background_pj =
+      params_.background_pj_per_bank_cycle * static_cast<double>(elapsed);
+  return e;
+}
+
+}  // namespace fgnvm::nvm

@@ -1,0 +1,199 @@
+#include "nvm/fgnvm_bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fgnvm::nvm {
+
+namespace {
+constexpr std::uint64_t full_mask(std::uint64_t n) {
+  return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+}  // namespace
+
+FgNvmBank::FgNvmBank(const mem::MemGeometry& geometry,
+                     const mem::TimingParams& timing, AccessModes modes)
+    : geo_(geometry),
+      timing_(timing),
+      modes_(modes),
+      sags_(geometry.num_sags),
+      cd_sense_lock_(geometry.num_cds, 0),
+      cd_write_lock_(geometry.num_cds, 0),
+      all_cds_mask_(full_mask(geometry.num_cds)) {
+  if (geometry.num_cds > 64) {
+    throw std::runtime_error("FgNvmBank: at most 64 CDs supported");
+  }
+}
+
+std::uint64_t FgNvmBank::line_cds(const mem::DecodedAddr& a) const {
+  std::uint64_t mask = 0;
+  for (std::uint64_t i = 0; i < a.cd_count; ++i) mask |= 1ULL << (a.cd + i);
+  return mask;
+}
+
+std::uint64_t FgNvmBank::needed_cds(const mem::DecodedAddr& a,
+                                    std::uint64_t extra_cds) const {
+  if (!modes_.partial_activation) return all_cds_mask_;
+  return (line_cds(a) | extra_cds) & all_cds_mask_;
+}
+
+bool FgNvmBank::segments_sensed(const mem::DecodedAddr& a) const {
+  const SagState& s = sags_[a.sag];
+  if (s.open_row != a.row) return false;
+  const std::uint64_t need = line_cds(a);
+  return (s.sensed & need) == need;
+}
+
+bool FgNvmBank::row_open(const mem::DecodedAddr& a) const {
+  return sags_[a.sag].open_row == a.row;
+}
+
+Cycle FgNvmBank::earliest_activate(const mem::DecodedAddr& a, ActPurpose p,
+                                   Cycle now, std::uint64_t extra_cds) const {
+  const SagState& s = sags_[a.sag];
+  Cycle t = std::max(now, bank_lock_);
+  t = std::max(t, s.lock_until);
+  if (!modes_.multi_activation) t = std::max(t, global_act_lock_);
+  if (p == ActPurpose::kRead) {
+    // Sensing occupies the local bitline path of each needed CD; it cannot
+    // overlap other sensing or write driving in the same CD.
+    std::uint64_t cds = needed_cds(a, extra_cds);
+    // An ACT on the already-open row only needs to sense the missing CDs.
+    if (s.open_row == a.row) cds &= ~s.sensed;
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) {
+        t = std::max(t, cd_sense_lock_[cd]);
+        t = std::max(t, cd_write_lock_[cd]);
+      }
+    }
+  }
+  return t;
+}
+
+void FgNvmBank::issue_activate(const mem::DecodedAddr& a, ActPurpose p,
+                               Cycle at, std::uint64_t extra_cds) {
+  assert(at >= earliest_activate(a, p, at, extra_cds));
+  SagState& s = sags_[a.sag];
+
+  const bool same_row = (s.open_row == a.row);
+  if (!same_row) {
+    // Row switch: PCM has tRP == 0, the old row buffer contents are simply
+    // abandoned (non-destructive reads, nothing to restore).
+    s.open_row = a.row;
+    s.sensed = 0;
+  }
+
+  const Cycle done = at + timing_.tRCD;
+  s.lock_until = std::max(s.lock_until, done);
+  if (!modes_.multi_activation) global_act_lock_ = std::max(global_act_lock_, done);
+
+  if (p == ActPurpose::kRead) {
+    std::uint64_t cds = needed_cds(a, extra_cds) & ~s.sensed;
+    std::uint64_t nsegs = 0;
+    for (std::uint64_t cd = 0, m = cds; m != 0; ++cd, m >>= 1) {
+      if (m & 1) {
+        cd_sense_lock_[cd] = std::max(cd_sense_lock_[cd], done);
+        ++nsegs;
+      }
+    }
+    if (same_row && s.sensed != 0 && nsegs != 0) ++stats_.underfetch_acts;
+    s.sensed |= cds;
+    s.sense_ready = std::max(s.sense_ready, done);
+    ++stats_.acts_for_read;
+    stats_.bits_sensed += nsegs * geo_.segment_bytes() * 8;
+  } else {
+    // Write activation: wordline selection only, no sensing energy and no
+    // bitline occupancy beyond the SAG lock.
+    ++stats_.acts_for_write;
+  }
+}
+
+Cycle FgNvmBank::earliest_column(const mem::DecodedAddr& a, OpType op,
+                                 Cycle now) const {
+  const SagState& s = sags_[a.sag];
+  Cycle t = std::max(now, bank_lock_);
+  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
+
+  if (op == OpType::kRead) {
+    // Data must be latched; the SAG must not be mid-ACT or mid-write; the
+    // CD's I/O path must not be driven by a write.
+    t = std::max(t, s.sense_ready);
+    t = std::max(t, s.lock_until);
+    std::uint64_t cds = line_cds(a);
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) t = std::max(t, cd_write_lock_[cd]);
+    }
+  } else {
+    // Write driving needs the wordline (SAG) plus exclusive use of the CD
+    // bitline/IO path — it cannot overlap sensing *or* another write there.
+    t = std::max(t, s.lock_until);
+    std::uint64_t cds = line_cds(a);
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) {
+        t = std::max(t, cd_sense_lock_[cd]);
+        t = std::max(t, cd_write_lock_[cd]);
+      }
+    }
+  }
+  return t;
+}
+
+Cycle FgNvmBank::issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) {
+  assert(at >= earliest_column(a, op, at));
+  SagState& s = sags_[a.sag];
+  last_col_ = at;
+  any_col_issued_ = true;
+
+  if (op == OpType::kRead) {
+    assert(segments_sensed(a));
+    ++stats_.reads;
+    return at + timing_.tCAS;
+  }
+
+  assert(s.open_row == a.row);
+  const Cycle done = at + timing_.write_occupancy(geo_.line_bytes * 8);
+  ++stats_.writes;
+  stats_.bits_written += geo_.line_bytes * 8;
+  // Writing corrupts nothing, but the row buffer of this SAG no longer
+  // matches the array for the written CDs; conservatively drop them so a
+  // later read re-senses fresh data.
+  s.sensed &= ~line_cds(a);
+
+  if (modes_.background_writes) {
+    s.lock_until = std::max(s.lock_until, done);
+    std::uint64_t cds = line_cds(a);
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) cd_write_lock_[cd] = std::max(cd_write_lock_[cd], done);
+    }
+  } else {
+    bank_lock_ = std::max(bank_lock_, done);
+  }
+  return done;
+}
+
+void FgNvmBank::close_row(const mem::DecodedAddr& a, Cycle at) {
+  (void)at;  // tRP == 0: closing is free in NVM
+  SagState& s = sags_[a.sag];
+  if (s.open_row != a.row) return;
+  s.open_row = kInvalidAddr;
+  s.sensed = 0;
+}
+
+Cycle FgNvmBank::busy_until() const {
+  Cycle t = bank_lock_;
+  for (const SagState& s : sags_) t = std::max(t, s.lock_until);
+  for (Cycle c : cd_sense_lock_) t = std::max(t, c);
+  for (Cycle c : cd_write_lock_) t = std::max(t, c);
+  return t;
+}
+
+std::uint64_t FgNvmBank::open_row(std::uint64_t sag) const {
+  return sags_.at(sag).open_row;
+}
+
+std::uint64_t FgNvmBank::sensed_mask(std::uint64_t sag) const {
+  return sags_.at(sag).sensed;
+}
+
+}  // namespace fgnvm::nvm

@@ -1,0 +1,85 @@
+// FgNVM bank: two-dimensional (SAG x CD) subdivision with tile-level
+// parallelism. Implements the Section-4 semantics:
+//
+//  * Partial-Activation — an ACT senses only the CD segment(s) a request
+//    needs; per-SAG bookkeeping remembers which CDs of the open row are
+//    sensed, so a later access to an unsensed CD pays another ACT
+//    ("underfetch").
+//  * Multi-Activation — ACTs in different SAGs may overlap, but never two in
+//    the same SAG (one wordline per SAG) nor two sensing the same CD (shared
+//    local bitline path). Disabling the mode serializes all sensing
+//    bank-wide.
+//  * Backgrounded Writes — a write occupies its SAG (wordline + drivers) and
+//    its CD(s) (I/O path) until the program pulse finishes; all other
+//    (SAG, CD) pairs remain readable. Disabling the mode locks the whole
+//    bank for the duration, which is the baseline PCM behaviour.
+//
+// The baseline prototype bank is exactly this model with a 1x1 geometry and
+// all modes off: one row buffer, full-row sensing, serialized writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nvm/bank.hpp"
+
+namespace fgnvm::nvm {
+
+class FgNvmBank final : public Bank {
+ public:
+  FgNvmBank(const mem::MemGeometry& geometry, const mem::TimingParams& timing,
+            AccessModes modes);
+
+  bool segments_sensed(const mem::DecodedAddr& a) const override;
+  bool row_open(const mem::DecodedAddr& a) const override;
+  Cycle earliest_activate(const mem::DecodedAddr& a, ActPurpose p, Cycle now,
+                          std::uint64_t extra_cds = 0) const override;
+  Cycle earliest_column(const mem::DecodedAddr& a, OpType op,
+                        Cycle now) const override;
+  void issue_activate(const mem::DecodedAddr& a, ActPurpose p, Cycle at,
+                      std::uint64_t extra_cds = 0) override;
+  Cycle issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) override;
+  void close_row(const mem::DecodedAddr& a, Cycle at) override;
+  Cycle busy_until() const override;
+
+  const BankStats& stats() const override { return stats_; }
+  const AccessModes& modes() const { return modes_; }
+
+  /// Open row of a SAG, or kInvalidAddr if none. Exposed for tests.
+  std::uint64_t open_row(std::uint64_t sag) const;
+  /// Sensed-CD bitmask of a SAG's open row. Exposed for tests.
+  std::uint64_t sensed_mask(std::uint64_t sag) const;
+
+ private:
+  /// Bitmask of CDs an activation serving `a` would sense/occupy, including
+  /// scheduler-requested extra CDs under partial activation.
+  std::uint64_t needed_cds(const mem::DecodedAddr& a,
+                           std::uint64_t extra_cds) const;
+  /// Bitmask of the CDs holding the cache line of `a` (independent of the
+  /// partial-activation mode).
+  std::uint64_t line_cds(const mem::DecodedAddr& a) const;
+
+  struct SagState {
+    std::uint64_t open_row = kInvalidAddr;
+    std::uint64_t sensed = 0;      // CD bitmask sensed for open_row
+    Cycle sense_ready = 0;         // last ACT completes
+    Cycle lock_until = 0;          // ACT in progress or write in progress
+  };
+
+  mem::MemGeometry geo_;
+  mem::TimingParams timing_;
+  AccessModes modes_;
+
+  std::vector<SagState> sags_;
+  std::vector<Cycle> cd_sense_lock_;  // bitlines busy sensing
+  std::vector<Cycle> cd_write_lock_;  // write drivers on the CD I/O path
+  Cycle global_act_lock_ = 0;         // used when multi_activation is off
+  Cycle bank_lock_ = 0;               // used when background_writes is off
+  Cycle last_col_ = 0;                // tCCD reference; 0 == "none yet"
+  bool any_col_issued_ = false;
+  std::uint64_t all_cds_mask_ = 0;
+
+  BankStats stats_;
+};
+
+}  // namespace fgnvm::nvm

@@ -1,0 +1,74 @@
+#include "nvm/technology.hpp"
+
+#include <stdexcept>
+
+namespace fgnvm::nvm {
+
+const char* to_string(Technology tech) {
+  switch (tech) {
+    case Technology::kPcm: return "pcm";
+    case Technology::kRram: return "rram";
+    case Technology::kSttRam: return "sttram";
+  }
+  return "?";
+}
+
+Technology technology_from_string(const std::string& name) {
+  if (name == "pcm") return Technology::kPcm;
+  if (name == "rram") return Technology::kRram;
+  if (name == "sttram" || name == "stt-ram") return Technology::kSttRam;
+  throw std::runtime_error("unknown NVM technology: " + name);
+}
+
+TechnologyProfile technology_profile(Technology tech, double clock_mhz) {
+  TechnologyProfile p;
+  p.tech = tech;
+  p.name = to_string(tech);
+  mem::TimingParams& t = p.timing;
+  t.clock_mhz = clock_mhz;
+  t.tRAS = 0;
+  t.tRP = 0;
+  t.tCCD = 4;
+  t.tBURST = 4;
+
+  switch (tech) {
+    case Technology::kPcm:
+      t.tRCD = t.ns_to_cycles(25.0);
+      t.tCAS = t.ns_to_cycles(95.0);
+      t.tCWD = t.ns_to_cycles(7.5);
+      t.tWP = t.ns_to_cycles(150.0);
+      t.tWR = t.ns_to_cycles(7.5);
+      t.write_drivers = 256;  // two-phase programming of a 512-bit line
+      p.energy.read_pj_per_bit = 2.0;
+      p.energy.write_pj_per_bit = 16.0;
+      break;
+    case Technology::kRram:
+      t.tRCD = t.ns_to_cycles(10.0);
+      t.tCAS = t.ns_to_cycles(40.0);
+      t.tCWD = t.ns_to_cycles(7.5);
+      t.tWP = t.ns_to_cycles(50.0);
+      t.tWR = t.ns_to_cycles(5.0);
+      t.write_drivers = 256;  // SET/RESET phases, as PCM
+      p.energy.read_pj_per_bit = 1.0;
+      p.energy.write_pj_per_bit = 5.0;
+      p.energy.background_pj_per_bank_cycle = 12.0;
+      break;
+    case Technology::kSttRam:
+      t.tRCD = t.ns_to_cycles(5.0);
+      t.tCAS = t.ns_to_cycles(20.0);
+      t.tCWD = t.ns_to_cycles(5.0);
+      t.tWP = t.ns_to_cycles(10.0);
+      t.tWR = t.ns_to_cycles(2.5);
+      t.write_drivers = 512;  // full line per pulse; toggle writes
+      p.energy.read_pj_per_bit = 0.5;
+      p.energy.write_pj_per_bit = 1.0;
+      p.energy.background_pj_per_bank_cycle = 10.0;
+      // STT-RAM writes flip bits directly; no data-comparison saving is
+      // assumed (the constant already reflects per-bit toggle cost).
+      p.energy.write_flip_fraction = 1.0;
+      break;
+  }
+  return p;
+}
+
+}  // namespace fgnvm::nvm

@@ -1,0 +1,41 @@
+// Representative device profiles for the emerging-NVM candidates the paper
+// names (Section 1): PCM, RRAM, and STT-RAM.
+//
+// PCM uses the paper's own Table-2 prototype numbers; RRAM and STT-RAM use
+// representative NVSim-class literature values (HfOx RRAM crossbar reads
+// sense faster but program in tens of ns; STT-MRAM approaches SRAM-class
+// reads with ~10 ns writes and no multi-pulse programming). The absolute
+// values matter less than the regime each represents:
+//
+//              sense     CAS      program        write energy
+//   PCM        25 ns     95 ns    150 ns x N     16 pJ/bit
+//   RRAM       10 ns     40 ns    50 ns  x N     5  pJ/bit
+//   STT-RAM    5 ns      20 ns    10 ns          1  pJ/bit  (2 pulses max)
+//
+// All three share the FgNVM-enabling properties: non-destructive reads,
+// current-mode sensing, no refresh.
+#pragma once
+
+#include <string>
+
+#include "mem/timing.hpp"
+#include "nvm/energy.hpp"
+
+namespace fgnvm::nvm {
+
+enum class Technology { kPcm, kRram, kSttRam };
+
+const char* to_string(Technology tech);
+Technology technology_from_string(const std::string& name);
+
+struct TechnologyProfile {
+  Technology tech = Technology::kPcm;
+  std::string name = "pcm";
+  mem::TimingParams timing;
+  EnergyParams energy;
+};
+
+/// Device profile at the given controller clock.
+TechnologyProfile technology_profile(Technology tech, double clock_mhz = 400.0);
+
+}  // namespace fgnvm::nvm

@@ -1,0 +1,346 @@
+#include "sched/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fgnvm::sched {
+
+SchedulerPolicy scheduler_policy_from_string(const std::string& name) {
+  if (name == "fcfs") return SchedulerPolicy::kFcfs;
+  if (name == "frfcfs") return SchedulerPolicy::kFrfcfs;
+  if (name == "frfcfs_aug" || name == "augmented")
+    return SchedulerPolicy::kFrfcfsAugmented;
+  throw std::runtime_error("unknown scheduler policy: " + name);
+}
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs: return "fcfs";
+    case SchedulerPolicy::kFrfcfs: return "frfcfs";
+    case SchedulerPolicy::kFrfcfsAugmented: return "frfcfs_aug";
+  }
+  return "?";
+}
+
+PagePolicy page_policy_from_string(const std::string& name) {
+  if (name == "open") return PagePolicy::kOpen;
+  if (name == "closed") return PagePolicy::kClosed;
+  throw std::runtime_error("unknown page policy: " + name);
+}
+
+const char* to_string(PagePolicy policy) {
+  return policy == PagePolicy::kOpen ? "open" : "closed";
+}
+
+ControllerConfig ControllerConfig::from_config(const Config& cfg) {
+  ControllerConfig c;
+  c.policy = scheduler_policy_from_string(
+      cfg.get_string("scheduler", to_string(c.policy)));
+  c.page_policy = page_policy_from_string(
+      cfg.get_string("page_policy", to_string(c.page_policy)));
+  c.read_queue_cap = cfg.get_u64("read_queue", c.read_queue_cap);
+  c.write_queue_cap = cfg.get_u64("write_queue", c.write_queue_cap);
+  c.wq_high = cfg.get_u64("wq_high", c.wq_high);
+  c.wq_low = cfg.get_u64("wq_low", c.wq_low);
+  c.issue_width = cfg.get_u64("issue_width", c.issue_width);
+  c.bus_lanes = cfg.get_u64("bus_lanes", c.bus_lanes);
+  c.drain_idle_timeout = cfg.get_u64("drain_idle_timeout", c.drain_idle_timeout);
+  c.bg_write_guard = cfg.get_u64("bg_write_guard", c.bg_write_guard);
+  c.bg_write_min = cfg.get_u64("bg_write_min", c.bg_write_min);
+  c.bg_write_inflight_max =
+      cfg.get_u64("bg_write_inflight_max", c.bg_write_inflight_max);
+  if (c.issue_width == 0 || c.bus_lanes == 0) {
+    throw std::runtime_error("ControllerConfig: zero issue_width/bus_lanes");
+  }
+  return c;
+}
+
+Controller::Controller(const mem::MemGeometry& geometry,
+                       const mem::TimingParams& timing,
+                       const ControllerConfig& cfg,
+                       const BankFactory& make_bank)
+    : geo_(geometry),
+      timing_(timing),
+      cfg_(cfg),
+      bus_(cfg.bus_lanes),
+      writes_(cfg.write_queue_cap, cfg.wq_high, cfg.wq_low,
+              geometry.line_bytes) {
+  const std::uint64_t n = geo_.ranks_per_channel * geo_.banks_per_rank;
+  banks_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) banks_.push_back(make_bank());
+  sag_last_read_.assign(n * geo_.num_sags, 0);
+}
+
+std::uint64_t Controller::sag_group(const mem::DecodedAddr& a) const {
+  return (a.rank * geo_.banks_per_rank + a.bank) * geo_.num_sags + a.sag;
+}
+
+nvm::Bank& Controller::bank_of(const mem::DecodedAddr& a) {
+  return *banks_[a.rank * geo_.banks_per_rank + a.bank];
+}
+
+const nvm::Bank& Controller::bank_of(const mem::DecodedAddr& a) const {
+  return *banks_[a.rank * geo_.banks_per_rank + a.bank];
+}
+
+bool Controller::can_accept(OpType op) const {
+  if (op == OpType::kRead) return reads_.size() < cfg_.read_queue_cap;
+  return !writes_.full();
+}
+
+void Controller::enqueue(mem::MemRequest req, Cycle now) {
+  req.arrival = now;
+  if (req.is_read()) {
+    if (writes_.covers(req.addr.addr)) {
+      // Store-to-load forwarding from the write queue: served next cycle.
+      req.completion = now + 1;
+      completed_.push_back(req);
+      stats_.inc("reads.forwarded");
+      stats_.sample("read_latency", 1.0);
+      return;
+    }
+    if (reads_.size() >= cfg_.read_queue_cap) {
+      throw std::runtime_error("Controller: read queue overflow");
+    }
+    if (bank_of(req.addr).segments_sensed(req.addr)) {
+      stats_.inc("reads.row_hit_arrival");
+    }
+    reads_.push_back(PendingRead{req});
+    last_read_activity_ = now;
+    sag_last_read_[sag_group(req.addr)] = now;
+    stats_.inc("reads.accepted");
+  } else {
+    const bool coalesced = writes_.add(req);
+    stats_.inc(coalesced ? "writes.coalesced" : "writes.accepted");
+  }
+}
+
+void Controller::maybe_close_row(const mem::DecodedAddr& a, Cycle now) {
+  if (cfg_.page_policy != PagePolicy::kClosed) return;
+  for (const PendingRead& r : reads_) {
+    if (r.req.addr.same_row(a)) return;  // still wanted
+  }
+  for (const mem::MemRequest& w : writes_.entries()) {
+    if (w.addr.same_row(a)) return;
+  }
+  bank_of(a).close_row(a, now);
+  stats_.inc("cmd.close_row");
+}
+
+bool Controller::write_conflicts_with_reads(const mem::DecodedAddr& w) const {
+  for (const PendingRead& r : reads_) {
+    const mem::DecodedAddr& a = r.req.addr;
+    if (!a.same_bank(w)) continue;
+    if (a.sag == w.sag) return true;
+    // CD range overlap check.
+    const std::uint64_t a_lo = a.cd, a_hi = a.cd + a.cd_count;
+    const std::uint64_t w_lo = w.cd, w_hi = w.cd + w.cd_count;
+    if (a_lo < w_hi && w_lo < a_hi) return true;
+  }
+  return false;
+}
+
+bool Controller::try_issue_read_column(Cycle now) {
+  for (auto it = reads_.begin(); it != reads_.end(); ++it) {
+    nvm::Bank& bank = bank_of(it->req.addr);
+    if (!bank.segments_sensed(it->req.addr)) {
+      if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
+      continue;
+    }
+    if (bank.earliest_column(it->req.addr, OpType::kRead, now) > now) {
+      if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
+      continue;
+    }
+    const Cycle data_start = now + timing_.tCAS;
+    if (!bus_.available(data_start)) {
+      stats_.inc("bus.column_conflicts");
+      if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
+      continue;
+    }
+    const Cycle burst_start =
+        bank.issue_column(it->req.addr, OpType::kRead, now);
+    assert(burst_start == data_start);
+    (void)burst_start;
+    bus_.reserve(data_start, timing_.tBURST);
+    InFlight fl{it->req, data_start + timing_.tBURST};
+    inflight_reads_.push_back(fl);
+    sag_last_read_[sag_group(it->req.addr)] = now;
+    const mem::DecodedAddr done_addr = it->req.addr;
+    reads_.erase(it);
+    stats_.inc("cmd.read");
+    maybe_close_row(done_addr, now);
+    return true;
+  }
+  return false;
+}
+
+bool Controller::try_issue_read_activate(Cycle now) {
+  // Per (bank, sag), only the *oldest* queued read may trigger an ACT; this
+  // both mirrors the per-SAG row-latch (one pending row per SAG) and
+  // guarantees the oldest request in a SAG always makes progress (no
+  // livelock from row-buffer thrashing).
+  std::unordered_set<std::uint64_t> seen_groups;
+  for (const PendingRead& r : reads_) {
+    const mem::DecodedAddr& a = r.req.addr;
+    if (!seen_groups.insert(sag_group(a)).second) continue;  // not oldest
+    nvm::Bank& bank = bank_of(a);
+    if (bank.segments_sensed(a)) continue;  // waiting on column, not ACT
+    std::uint64_t extra_cds = 0;
+    if (cfg_.policy == SchedulerPolicy::kFrfcfsAugmented) {
+      // Demand-aggregated partial activation: one ACT senses every CD that
+      // queued reads to this same row already want (the per-CD CSLs are
+      // one-hot, so several can be enabled in a single activation).
+      for (const PendingRead& other : reads_) {
+        const mem::DecodedAddr& o = other.req.addr;
+        if (o.same_row(a)) {
+          for (std::uint64_t i = 0; i < o.cd_count; ++i) {
+            extra_cds |= 1ULL << (o.cd + i);
+          }
+        }
+      }
+    }
+    if (bank.earliest_activate(a, nvm::ActPurpose::kRead, now, extra_cds) <=
+        now) {
+      bank.issue_activate(a, nvm::ActPurpose::kRead, now, extra_cds);
+      stats_.inc("cmd.act_read");
+      return true;
+    }
+    if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
+  }
+  return false;
+}
+
+bool Controller::try_issue_write(Cycle now, bool background_only) {
+  // As with reads, only the oldest write per (bank, SAG) may change that
+  // SAG's open row — otherwise queued writes to different rows of one SAG
+  // thrash the row latch and re-activate forever.
+  std::unordered_set<std::uint64_t> seen_groups;
+  for (const mem::MemRequest& w : writes_.entries()) {
+    const bool oldest_in_group = seen_groups.insert(sag_group(w.addr)).second;
+    if (background_only) {
+      // A backgrounded write must not collide with queued reads (Section-4
+      // SAG/CD constraint) nor park itself in a SAG the read stream is
+      // actively using — a 150 ns program pulse there stalls the next burst.
+      if (write_conflicts_with_reads(w.addr)) continue;
+      if (now < sag_last_read_[sag_group(w.addr)] + cfg_.bg_write_guard)
+        continue;
+    }
+    nvm::Bank& bank = bank_of(w.addr);
+    if (!bank.row_open(w.addr)) {
+      if (oldest_in_group &&
+          bank.earliest_activate(w.addr, nvm::ActPurpose::kWrite, now) <= now) {
+        bank.issue_activate(w.addr, nvm::ActPurpose::kWrite, now);
+        stats_.inc("cmd.act_write");
+        return true;
+      }
+      continue;
+    }
+    if (bank.earliest_column(w.addr, OpType::kWrite, now) > now) continue;
+    const Cycle data_start = now + timing_.tCWD;
+    if (!bus_.available(data_start)) {
+      stats_.inc("bus.column_conflicts");
+      continue;
+    }
+    const Cycle done = bank.issue_column(w.addr, OpType::kWrite, now);
+    write_done_times_.push_back(done);
+    bus_.reserve(data_start, timing_.tBURST);
+    const mem::DecodedAddr done_addr = w.addr;
+    writes_.remove(w.id);
+    stats_.inc(background_only ? "cmd.write_background" : "cmd.write_drain");
+    stats_.inc("cmd.write");
+    // Closed-page: the write's row closes once the program completes.
+    if (cfg_.page_policy == PagePolicy::kClosed) maybe_close_row(done_addr, done);
+    return true;
+  }
+  return false;
+}
+
+bool Controller::try_issue(Cycle now, bool& write_done) {
+  const bool draining = writes_.draining();
+  const bool idle_reads = reads_.empty();
+
+  const auto issue_write = [&](bool background_only) {
+    if (write_done) return false;
+    if (try_issue_write(now, background_only)) {
+      write_done = true;
+      return true;
+    }
+    return false;
+  };
+
+  if (draining) {
+    if (issue_write(/*background_only=*/false)) return true;
+    if (try_issue_read_column(now)) return true;
+    return try_issue_read_activate(now);
+  }
+  if (try_issue_read_column(now)) return true;
+  if (try_issue_read_activate(now)) return true;
+  // Count writes still programming (for the background in-flight cap).
+  std::erase_if(write_done_times_, [&](Cycle done) { return done <= now; });
+  if (cfg_.policy == SchedulerPolicy::kFrfcfsAugmented &&
+      writes_.size() >= cfg_.bg_write_min &&
+      write_done_times_.size() < cfg_.bg_write_inflight_max) {
+    // Backgrounded Writes: slip writes under pending reads whenever the
+    // target (bank, SAG, CD) is disjoint from every queued read. The
+    // occupancy floor preserves the coalescing window — draining writes the
+    // moment they arrive forfeits merges with imminent rewrites.
+    if (issue_write(/*background_only=*/true)) return true;
+  }
+  if (idle_reads && inflight_reads_.empty() && !writes_.empty()) {
+    // Conventional opportunistic drain while the read stream is idle — but
+    // only once enough writes accumulated or the stream has been quiet for
+    // a while; dribbling single writes out eagerly trashes open rows the
+    // read stream is about to revisit.
+    const bool quiet =
+        now >= last_read_activity_ + cfg_.drain_idle_timeout;
+    if (writes_.size() >= cfg_.wq_low || quiet) {
+      return issue_write(/*background_only=*/false);
+    }
+  }
+  return false;
+}
+
+void Controller::tick(Cycle now) {
+  // Retire finished read bursts.
+  for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
+    if (it->done <= now) {
+      it->req.completion = it->done;
+      const double latency = static_cast<double>(it->done - it->req.arrival);
+      stats_.sample("read_latency", latency);
+      stats_.hsample("read_latency_hist", latency);
+      completed_.push_back(it->req);
+      it = inflight_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  writes_.update_drain();
+  bool write_done = false;
+  for (std::uint64_t slot = 0; slot < cfg_.issue_width; ++slot) {
+    if (!try_issue(now, write_done)) break;
+  }
+}
+
+std::vector<mem::MemRequest> Controller::take_completed() {
+  std::vector<mem::MemRequest> out;
+  out.swap(completed_);
+  return out;
+}
+
+bool Controller::idle() const {
+  return reads_.empty() && writes_.empty() && inflight_reads_.empty() &&
+         completed_.empty();
+}
+
+Cycle Controller::next_event(Cycle now) const {
+  if (!reads_.empty() || !writes_.empty()) return now + 1;
+  Cycle next = kNeverCycle;
+  for (const InFlight& fl : inflight_reads_) next = std::min(next, fl.done);
+  if (!completed_.empty()) next = std::min(next, now + 1);
+  return next;
+}
+
+}  // namespace fgnvm::sched

@@ -1,0 +1,147 @@
+// Per-channel memory controller.
+//
+// Implements the paper's scheduling setups:
+//  * FCFS        — strictly in-order read service (reference point).
+//  * FRFCFS      — first-ready (already-sensed segments issue first), then
+//                  first-come-first-serve; writes buffered and drained in
+//                  bursts between watermarks (Rixner et al.).
+//  * FRFCFS_AUG  — the paper's "augmented FRFCFS": additionally SAG/CD-aware;
+//                  issues writes opportunistically as Backgrounded Writes
+//                  whenever the target (bank, SAG, CD) does not conflict with
+//                  any queued read, instead of waiting for a drain burst.
+//
+// Multi-Issue (Figure 4) is modeled by `issue_width` commands per cycle and
+// `bus_lanes` parallel data-bus lanes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/bus.hpp"
+#include "mem/request.hpp"
+#include "mem/timing.hpp"
+#include "nvm/bank.hpp"
+#include "sched/write_queue.hpp"
+
+namespace fgnvm::sched {
+
+enum class SchedulerPolicy : std::uint8_t { kFcfs, kFrfcfs, kFrfcfsAugmented };
+
+SchedulerPolicy scheduler_policy_from_string(const std::string& name);
+const char* to_string(SchedulerPolicy policy);
+
+/// Row-buffer management: open-page keeps rows sensed for future hits;
+/// closed-page relinquishes a row as soon as no queued request wants it
+/// (hides DRAM precharge in idle gaps; for NVM it only drops sensed state,
+/// so open-page is the natural NVM default).
+enum class PagePolicy : std::uint8_t { kOpen, kClosed };
+
+PagePolicy page_policy_from_string(const std::string& name);
+const char* to_string(PagePolicy policy);
+
+struct ControllerConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFrfcfs;
+  PagePolicy page_policy = PagePolicy::kOpen;
+  std::uint64_t read_queue_cap = 32;  // Table 2: 32 queue entries
+  std::uint64_t write_queue_cap = 64; // Table 2: 64 write drivers
+  std::uint64_t wq_high = 32;
+  std::uint64_t wq_low = 8;
+  std::uint64_t issue_width = 1;      // commands per cycle (Multi-Issue > 1)
+  std::uint64_t bus_lanes = 1;        // parallel data bursts (Multi-Issue > 1)
+  Cycle drain_idle_timeout = 200;     // quiet cycles before a low-occupancy
+                                      // write drain may start
+  Cycle bg_write_guard = 150;         // a backgrounded write avoids SAGs the
+                                      // read stream touched this recently
+  std::uint64_t bg_write_min = 8;     // write-queue occupancy before
+                                      // backgrounded writes start
+  std::uint64_t bg_write_inflight_max = 8;  // concurrent backgrounded writes
+                                            // (bounds read-tail exposure)
+
+  static ControllerConfig from_config(const Config& cfg);
+};
+
+/// Factory for the banks of one channel (rank-major order).
+using BankFactory = std::function<std::unique_ptr<nvm::Bank>()>;
+
+class Controller {
+ public:
+  Controller(const mem::MemGeometry& geometry, const mem::TimingParams& timing,
+             const ControllerConfig& cfg, const BankFactory& make_bank);
+
+  /// True if a new request of this type can be accepted this cycle.
+  bool can_accept(OpType op) const;
+
+  /// Accepts a request (precondition: can_accept). Writes are posted —
+  /// they are reported complete immediately; reads complete via completed().
+  void enqueue(mem::MemRequest req, Cycle now);
+
+  /// Advances one memory cycle: issues up to issue_width commands and
+  /// retires finished reads into the completed() list.
+  void tick(Cycle now);
+
+  /// Reads whose data burst finished at or before the last tick. The caller
+  /// takes ownership (the list is cleared by this call).
+  std::vector<mem::MemRequest> take_completed();
+
+  /// Earliest future cycle at which tick() could possibly do work, given no
+  /// new arrivals; kNeverCycle when fully idle. Used for fast-forwarding.
+  Cycle next_event(Cycle now) const;
+
+  bool idle() const;
+
+  const std::vector<std::unique_ptr<nvm::Bank>>& banks() const { return banks_; }
+  const mem::DataBus& bus() const { return bus_; }
+  const WriteQueue& write_queue() const { return writes_; }
+  const StatSet& stats() const { return stats_; }
+  std::uint64_t pending_reads() const { return reads_.size(); }
+
+ private:
+  struct PendingRead {
+    mem::MemRequest req;
+  };
+  struct InFlight {
+    mem::MemRequest req;
+    Cycle done;
+  };
+
+  nvm::Bank& bank_of(const mem::DecodedAddr& a);
+  const nvm::Bank& bank_of(const mem::DecodedAddr& a) const;
+  std::uint64_t sag_group(const mem::DecodedAddr& a) const;
+
+  /// One issue slot; returns true if a command was issued. `write_done`
+  /// tracks whether a write command already issued this cycle — a 150 ns+
+  /// program operation never needs more than one issue slot per cycle, and
+  /// letting Multi-Issue inject writes every slot only lengthens read tails.
+  bool try_issue(Cycle now, bool& write_done);
+  bool try_issue_read_column(Cycle now);
+  bool try_issue_read_activate(Cycle now);
+  bool try_issue_write(Cycle now, bool background_only);
+  bool write_conflicts_with_reads(const mem::DecodedAddr& w) const;
+  /// Closed-page hook: closes `a`'s row unless another queued request
+  /// still wants it.
+  void maybe_close_row(const mem::DecodedAddr& a, Cycle now);
+
+  mem::MemGeometry geo_;
+  mem::TimingParams timing_;
+  ControllerConfig cfg_;
+
+  std::vector<std::unique_ptr<nvm::Bank>> banks_;
+  mem::DataBus bus_;
+  std::deque<PendingRead> reads_;  // FIFO arrival order
+  WriteQueue writes_;
+  std::vector<InFlight> inflight_reads_;   // column issued, burst pending
+  std::vector<mem::MemRequest> completed_;
+  Cycle last_read_activity_ = 0;  // last read enqueue/issue (drain gating)
+  std::vector<Cycle> sag_last_read_;  // per (bank, SAG): last read touch
+  std::vector<Cycle> write_done_times_;  // in-flight write completions
+
+  StatSet stats_;
+};
+
+}  // namespace fgnvm::sched

@@ -1,0 +1,61 @@
+#include "sched/write_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace fgnvm::sched {
+
+WriteQueue::WriteQueue(std::uint64_t capacity, std::uint64_t high,
+                       std::uint64_t low, std::uint64_t line_bytes)
+    : capacity_(capacity), high_(high), low_(low), line_bytes_(line_bytes) {
+  if (high_ > capacity_ || low_ > high_) {
+    throw std::invalid_argument("WriteQueue: need low <= high <= capacity");
+  }
+  if (!is_pow2(line_bytes_)) {
+    throw std::invalid_argument("WriteQueue: line_bytes must be a power of 2");
+  }
+}
+
+bool WriteQueue::add(const mem::MemRequest& req) {
+  const Addr line = line_of(req.addr.addr);
+  for (auto& e : entries_) {
+    if (line_of(e.addr.addr) == line) {
+      ++coalesced_;
+      return true;
+    }
+  }
+  if (full()) throw std::runtime_error("WriteQueue::add on full queue");
+  entries_.push_back(req);
+  return false;
+}
+
+bool WriteQueue::covers(Addr line_addr) const {
+  const Addr line = line_of(line_addr);
+  return std::any_of(
+      entries_.begin(), entries_.end(),
+      [&](const mem::MemRequest& e) { return line_of(e.addr.addr) == line; });
+}
+
+bool WriteQueue::update_drain() {
+  if (!draining_ && entries_.size() >= high_) {
+    draining_ = true;
+    ++drains_started_;
+  } else if (draining_ && entries_.size() <= low_) {
+    draining_ = false;
+  }
+  return draining_;
+}
+
+void WriteQueue::remove(RequestId id) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const mem::MemRequest& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    throw std::runtime_error("WriteQueue::remove: id not found");
+  }
+  entries_.erase(it);
+}
+
+}  // namespace fgnvm::sched

@@ -1,0 +1,66 @@
+// Controller write queue with high/low watermark draining.
+//
+// Writes are posted: the CPU considers them complete on acceptance. The
+// controller buffers them here and either drains in bursts (watermark
+// policy, as in conventional controllers) or issues them opportunistically
+// as Backgrounded Writes (augmented FRFCFS, Section 4). Reads that hit a
+// queued write are forwarded; duplicate writes to the same line coalesce.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace fgnvm::sched {
+
+class WriteQueue {
+ public:
+  /// `high` >= `low`; draining starts when size() >= high and stops when
+  /// size() <= low. capacity >= high. `line_bytes` sets the coalescing /
+  /// forwarding granularity.
+  WriteQueue(std::uint64_t capacity, std::uint64_t high, std::uint64_t low,
+             std::uint64_t line_bytes = 64);
+
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+  std::uint64_t size() const { return entries_.size(); }
+  std::uint64_t capacity() const { return capacity_; }
+
+  /// Adds a write, coalescing with an existing entry for the same line.
+  /// Returns true if coalesced. Precondition: !full() unless it coalesces.
+  bool add(const mem::MemRequest& req);
+
+  /// True if a queued write covers this line address (read forwarding).
+  bool covers(Addr line_addr) const;
+
+  /// Updates drain state for the current occupancy; returns whether the
+  /// controller should prioritize writes this cycle.
+  bool update_drain();
+  bool draining() const { return draining_; }
+
+  /// Access to pending writes in FIFO order.
+  const std::deque<mem::MemRequest>& entries() const { return entries_; }
+
+  /// Removes the entry with the given request id (after issue).
+  void remove(RequestId id);
+
+  std::uint64_t coalesced() const { return coalesced_; }
+  std::uint64_t drains_started() const { return drains_started_; }
+
+ private:
+  Addr line_of(Addr addr) const { return addr & ~(line_bytes_ - 1); }
+
+  std::uint64_t capacity_;
+  std::uint64_t high_;
+  std::uint64_t low_;
+  std::uint64_t line_bytes_;
+  bool draining_ = false;
+  std::deque<mem::MemRequest> entries_;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t drains_started_ = 0;
+};
+
+}  // namespace fgnvm::sched

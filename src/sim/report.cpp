@@ -1,0 +1,186 @@
+#include "sim/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fgnvm::sim {
+
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void open(const std::string& key = "") {
+    comma();
+    pad();
+    if (!key.empty()) os_ << '"' << json_escape(key) << "\": ";
+    os_ << "{";
+    ++depth_;
+    first_ = true;
+  }
+
+  void close() {
+    --depth_;
+    os_ << "\n";
+    pad_raw();
+    os_ << "}";
+    first_ = false;
+  }
+
+  template <typename T>
+  void field(const std::string& key, const T& value) {
+    comma();
+    pad();
+    os_ << '"' << json_escape(key) << "\": " << format(value);
+  }
+
+  void raw_field(const std::string& key, const std::string& raw) {
+    comma();
+    pad();
+    os_ << '"' << json_escape(key) << "\": " << raw;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  static std::string format(const std::string& v) {
+    return "\"" + json_escape(v) + "\"";
+  }
+  static std::string format(const char* v) { return format(std::string(v)); }
+  static std::string format(double v) {
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+  }
+  static std::string format(std::uint64_t v) { return std::to_string(v); }
+
+  void comma() {
+    if (!first_) os_ << ",";
+    first_ = false;
+  }
+  void pad() {
+    os_ << "\n";
+    pad_raw();
+  }
+  void pad_raw() {
+    for (int i = 0; i < depth_ * indent_; ++i) os_ << ' ';
+  }
+
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_energy(JsonWriter& w, const nvm::EnergyBreakdown& e) {
+  w.open("energy_pj");
+  w.field("sense", e.sense_pj);
+  w.field("write", e.write_pj);
+  w.field("background", e.background_pj);
+  w.field("total", e.total_pj());
+  w.close();
+}
+
+void write_counters(JsonWriter& w, const StatSet& stats) {
+  w.open("counters");
+  for (const auto& [name, value] : stats.counters()) w.field(name, value);
+  w.close();
+  w.open("distributions");
+  for (const auto& [name, dist] : stats.distributions()) {
+    w.open(name);
+    w.field("count", dist.count());
+    w.field("mean", dist.mean());
+    w.field("min", dist.min());
+    w.field("max", dist.max());
+    w.field("stddev", dist.stddev());
+    w.close();
+  }
+  w.close();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const RunResult& r, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("workload", r.workload);
+  w.field("config", r.config);
+  w.field("instructions", r.instructions);
+  w.field("cpu_cycles", r.cpu_cycles);
+  w.field("mem_cycles", r.mem_cycles);
+  w.field("reads", r.reads);
+  w.field("writes", r.writes);
+  w.field("ipc", r.ipc);
+  w.field("avg_read_latency", r.avg_read_latency);
+  w.field("p50_read_latency", r.p50_read_latency);
+  w.field("p95_read_latency", r.p95_read_latency);
+  w.field("p99_read_latency", r.p99_read_latency);
+  w.field("energy_per_op_pj", r.energy_per_op_pj());
+  w.field("fetch_stall_cycles", r.fetch_stall_cycles);
+  w.field("backpressure_stalls", r.backpressure_stalls);
+  write_energy(w, r.energy);
+  w.open("banks");
+  w.field("acts_for_read", r.banks.acts_for_read);
+  w.field("acts_for_write", r.banks.acts_for_write);
+  w.field("underfetch_acts", r.banks.underfetch_acts);
+  w.field("reads", r.banks.reads);
+  w.field("writes", r.banks.writes);
+  w.field("bits_sensed", r.banks.bits_sensed);
+  w.field("bits_written", r.banks.bits_written);
+  w.close();
+  write_counters(w, r.controller);
+  w.close();
+  return w.str();
+}
+
+std::string to_json(const MultiProgramResult& r, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("mem_cycles", r.mem_cycles);
+  {
+    std::ostringstream arr;
+    arr << "[";
+    for (std::size_t i = 0; i < r.workloads.size(); ++i) {
+      arr << (i ? ", " : "") << '"' << json_escape(r.workloads[i]) << '"';
+    }
+    arr << "]";
+    w.raw_field("workloads", arr.str());
+  }
+  {
+    std::ostringstream arr;
+    arr << "[";
+    for (std::size_t i = 0; i < r.ipc.size(); ++i) {
+      arr << (i ? ", " : "") << r.ipc[i];
+    }
+    arr << "]";
+    w.raw_field("ipc", arr.str());
+  }
+  write_energy(w, r.energy);
+  write_counters(w, r.controller);
+  w.close();
+  return w.str();
+}
+
+}  // namespace fgnvm::sim

@@ -1,0 +1,22 @@
+// Machine-readable result reporting (JSON) for the CLI simulator and for
+// downstream analysis scripts.
+#pragma once
+
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace fgnvm::sim {
+
+/// Serializes a run result as a single JSON object: scalar metrics, the
+/// energy breakdown, bank totals, and every controller counter under
+/// "counters". Distributions appear as {count, mean, min, max, stddev}.
+std::string to_json(const RunResult& result, int indent = 2);
+
+/// Serializes a multi-programmed result (per-core arrays + shared totals).
+std::string to_json(const MultiProgramResult& result, int indent = 2);
+
+/// Escapes a string for embedding in JSON (quotes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace fgnvm::sim

@@ -1,0 +1,147 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace fgnvm::sim {
+
+double RunResult::energy_per_op_pj() const {
+  const std::uint64_t ops = reads + writes;
+  return ops == 0 ? 0.0 : energy.total_pj() / static_cast<double>(ops);
+}
+
+namespace {
+
+RunResult finalize(const std::string& workload, sys::MemorySystem& mem,
+                   Cycle mem_cycles) {
+  RunResult r;
+  r.workload = workload;
+  r.config = mem.config().name;
+  r.mem_cycles = mem_cycles;
+  r.reads = mem.submitted_reads();
+  r.writes = mem.submitted_writes();
+  r.energy = mem.energy(mem_cycles);
+  r.banks = mem.bank_totals();
+  r.controller = mem.controller_stats();
+  r.avg_read_latency = r.controller.distribution("read_latency").mean();
+  const Histogram& hist = r.controller.histogram("read_latency_hist");
+  r.p50_read_latency = hist.percentile(0.50);
+  r.p95_read_latency = hist.percentile(0.95);
+  r.p99_read_latency = hist.percentile(0.99);
+  return r;
+}
+
+}  // namespace
+
+RunResult run_workload(const trace::Trace& trace,
+                       const sys::SystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params,
+                       Cycle max_mem_cycles) {
+  sys::MemorySystem mem(sys_cfg);
+  cpu::RobCpu core(trace, cpu_params, mem);
+
+  Cycle t = 0;
+  while (!core.finished() || !mem.idle()) {
+    if (t >= max_mem_cycles) {
+      throw std::runtime_error("run_workload: exceeded max_mem_cycles on " +
+                               trace.name + " / " + sys_cfg.name);
+    }
+    core.complete(mem.take_completed());
+    core.tick_mem_cycle(t);
+    mem.tick(t);
+    ++t;
+  }
+
+  RunResult r = finalize(trace.name, mem, t);
+  r.instructions = core.instructions_retired();
+  r.cpu_cycles = core.cpu_cycles();
+  r.ipc = core.ipc();
+  r.fetch_stall_cycles = core.fetch_stall_cycles();
+  r.backpressure_stalls = core.mem_backpressure_stalls();
+  return r;
+}
+
+double MultiProgramResult::weighted_speedup(
+    const std::vector<double>& alone) const {
+  if (alone.size() != ipc.size()) {
+    throw std::invalid_argument("weighted_speedup: arity mismatch");
+  }
+  double ws = 0.0;
+  for (std::size_t i = 0; i < ipc.size(); ++i) {
+    if (alone[i] > 0) ws += ipc[i] / alone[i];
+  }
+  return ws;
+}
+
+MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
+                                       const sys::SystemConfig& sys_cfg,
+                                       const cpu::CpuParams& cpu_params,
+                                       Cycle max_mem_cycles) {
+  if (traces.empty()) {
+    throw std::invalid_argument("run_multiprogrammed: no traces");
+  }
+  sys::MemorySystem mem(sys_cfg);
+  std::vector<std::unique_ptr<cpu::RobCpu>> cores;
+  cores.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    cores.push_back(
+        std::make_unique<cpu::RobCpu>(traces[i], cpu_params, mem, i));
+  }
+
+  const auto all_finished = [&]() {
+    return std::all_of(cores.begin(), cores.end(),
+                       [](const auto& c) { return c->finished(); });
+  };
+
+  Cycle t = 0;
+  while (!all_finished() || !mem.idle()) {
+    if (t >= max_mem_cycles) {
+      throw std::runtime_error("run_multiprogrammed: exceeded max_mem_cycles");
+    }
+    const auto done = mem.take_completed();
+    for (auto& core : cores) {
+      core->complete(done);
+      core->tick_mem_cycle(t);
+    }
+    mem.tick(t);
+    ++t;
+  }
+
+  MultiProgramResult r;
+  r.mem_cycles = t;
+  r.energy = mem.energy(t);
+  r.controller = mem.controller_stats();
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    r.workloads.push_back(traces[i].name);
+    r.ipc.push_back(cores[i]->ipc());
+    r.cpu_cycles.push_back(cores[i]->cpu_cycles());
+  }
+  return r;
+}
+
+RunResult run_memory_only(const trace::Trace& trace,
+                          const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles) {
+  sys::MemorySystem mem(sys_cfg);
+  std::size_t next = 0;
+
+  Cycle t = 0;
+  while (next < trace.records.size() || !mem.idle()) {
+    if (t >= max_mem_cycles) {
+      throw std::runtime_error("run_memory_only: exceeded max_mem_cycles on " +
+                               trace.name + " / " + sys_cfg.name);
+    }
+    (void)mem.take_completed();
+    while (next < trace.records.size() &&
+           mem.can_accept(trace.records[next].addr, trace.records[next].op)) {
+      mem.submit(trace.records[next].addr, trace.records[next].op, t);
+      ++next;
+    }
+    mem.tick(t);
+    ++t;
+  }
+  return finalize(trace.name, mem, t);
+}
+
+}  // namespace fgnvm::sim

@@ -1,0 +1,75 @@
+// Experiment runner: executes one (trace, memory configuration) pair to
+// completion and collects the numbers the paper's figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "cpu/rob_cpu.hpp"
+#include "nvm/energy.hpp"
+#include "sys/memory_system.hpp"
+#include "trace/trace.hpp"
+
+namespace fgnvm::sim {
+
+struct RunResult {
+  std::string workload;
+  std::string config;
+  std::uint64_t instructions = 0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t mem_cycles = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double ipc = 0.0;
+  double avg_read_latency = 0.0;  // memory cycles
+  double p50_read_latency = 0.0;
+  double p95_read_latency = 0.0;
+  double p99_read_latency = 0.0;
+  std::uint64_t fetch_stall_cycles = 0;     // ROB full
+  std::uint64_t backpressure_stalls = 0;    // memory queues full
+  nvm::EnergyBreakdown energy;
+  nvm::BankStats banks;
+  StatSet controller;
+
+  /// Energy per memory operation in pJ (the Figure-5 normalization basis).
+  double energy_per_op_pj() const;
+};
+
+/// Full-system run: ROB CPU in front of the memory system. Throws
+/// std::runtime_error if the simulation exceeds `max_mem_cycles`
+/// (deadlock guard).
+RunResult run_workload(const trace::Trace& trace, const sys::SystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params = {},
+                       Cycle max_mem_cycles = 500'000'000);
+
+/// Memory-only closed-loop run: submits the trace as fast as backpressure
+/// allows. Measures achievable bandwidth and service latency without a core
+/// model. `instructions` and `ipc` are zero in the result.
+RunResult run_memory_only(const trace::Trace& trace,
+                          const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles = 500'000'000);
+
+/// Result of a multi-programmed run: several cores, one memory system.
+struct MultiProgramResult {
+  std::vector<std::string> workloads;
+  std::vector<double> ipc;        // per core, under sharing
+  std::vector<Cycle> cpu_cycles;  // per core (cycles to finish its slice)
+  Cycle mem_cycles = 0;           // until the last core finished
+  nvm::EnergyBreakdown energy;
+  StatSet controller;
+
+  /// Sum over cores of shared_ipc / alone_ipc (the usual weighted-speedup
+  /// metric); `alone` must be same-order per-core isolated IPCs.
+  double weighted_speedup(const std::vector<double>& alone) const;
+};
+
+/// Runs one trace per core against a shared memory system. Cores that
+/// finish early idle while the rest complete.
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
+    const cpu::CpuParams& cpu_params = {},
+    Cycle max_mem_cycles = 500'000'000);
+
+}  // namespace fgnvm::sim

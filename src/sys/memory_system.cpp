@@ -1,0 +1,128 @@
+#include "sys/memory_system.hpp"
+
+#include <algorithm>
+
+#include "dram/dram_bank.hpp"
+#include "nvm/fgnvm_bank.hpp"
+
+namespace fgnvm::sys {
+
+SystemConfig SystemConfig::from_config(const Config& cfg) {
+  SystemConfig sc;
+  sc.name = cfg.get_string("name", sc.name);
+  const std::string kind = cfg.get_string("bank_kind", "fgnvm");
+  if (kind == "fgnvm") {
+    sc.bank_kind = BankKind::kFgNvm;
+  } else if (kind == "dram") {
+    sc.bank_kind = BankKind::kDram;
+  } else {
+    throw std::runtime_error("SystemConfig: unknown bank_kind '" + kind + "'");
+  }
+  sc.mapping = mem::address_mapping_from_string(
+      cfg.get_string("address_mapping", mem::to_string(sc.mapping)));
+  sc.geometry = mem::MemGeometry::from_config(cfg);
+  sc.timing = mem::TimingParams::from_config(cfg);
+  sc.controller = sched::ControllerConfig::from_config(cfg);
+  sc.energy = nvm::EnergyParams::from_config(cfg);
+  sc.modes.partial_activation =
+      cfg.get_bool("partial_activation", sc.modes.partial_activation);
+  sc.modes.multi_activation =
+      cfg.get_bool("multi_activation", sc.modes.multi_activation);
+  sc.modes.background_writes =
+      cfg.get_bool("background_writes", sc.modes.background_writes);
+  return sc;
+}
+
+MemorySystem::MemorySystem(const SystemConfig& cfg)
+    : cfg_(cfg),
+      decoder_(cfg.geometry, cfg.mapping),
+      energy_model_(cfg.energy) {
+  const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
+    if (cfg_.bank_kind == BankKind::kDram) {
+      return std::make_unique<dram::DramBank>(cfg_.geometry, cfg_.timing);
+    }
+    return std::make_unique<nvm::FgNvmBank>(cfg_.geometry, cfg_.timing,
+                                            cfg_.modes);
+  };
+  for (std::uint64_t ch = 0; ch < cfg_.geometry.channels; ++ch) {
+    channels_.push_back(std::make_unique<sched::Controller>(
+        cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
+  }
+}
+
+bool MemorySystem::can_accept(Addr addr, OpType op) const {
+  const auto d = decoder_.decode(addr);
+  return channels_[d.channel]->can_accept(op);
+}
+
+RequestId MemorySystem::submit(Addr addr, OpType op, Cycle now,
+                               std::uint64_t cpu_tag) {
+  mem::MemRequest req;
+  req.id = next_id_++;
+  req.op = op;
+  req.addr = decoder_.decode(addr);
+  req.cpu_tag = cpu_tag;
+  (op == OpType::kRead ? submitted_reads_ : submitted_writes_) += 1;
+  channels_[req.addr.channel]->enqueue(req, now);
+  return req.id;
+}
+
+void MemorySystem::tick(Cycle now) {
+  for (auto& ch : channels_) ch->tick(now);
+}
+
+std::vector<mem::MemRequest> MemorySystem::take_completed() {
+  std::vector<mem::MemRequest> all;
+  for (auto& ch : channels_) {
+    auto done = ch->take_completed();
+    all.insert(all.end(), done.begin(), done.end());
+  }
+  return all;
+}
+
+Cycle MemorySystem::next_event(Cycle now) const {
+  Cycle next = kNeverCycle;
+  for (const auto& ch : channels_) next = std::min(next, ch->next_event(now));
+  return next;
+}
+
+bool MemorySystem::idle() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const auto& ch) { return ch->idle(); });
+}
+
+nvm::EnergyBreakdown MemorySystem::energy(Cycle elapsed) const {
+  nvm::EnergyBreakdown sum;
+  for (const auto& ch : channels_) {
+    const auto e = energy_model_.total_energy(ch->banks(), elapsed);
+    sum.sense_pj += e.sense_pj;
+    sum.write_pj += e.write_pj;
+    sum.background_pj += e.background_pj;
+  }
+  return sum;
+}
+
+nvm::BankStats MemorySystem::bank_totals() const {
+  nvm::BankStats total;
+  for (const auto& ch : channels_) {
+    for (const auto& bank : ch->banks()) {
+      const nvm::BankStats& s = bank->stats();
+      total.acts_for_read += s.acts_for_read;
+      total.acts_for_write += s.acts_for_write;
+      total.underfetch_acts += s.underfetch_acts;
+      total.reads += s.reads;
+      total.writes += s.writes;
+      total.bits_sensed += s.bits_sensed;
+      total.bits_written += s.bits_written;
+    }
+  }
+  return total;
+}
+
+StatSet MemorySystem::controller_stats() const {
+  StatSet merged;
+  for (const auto& ch : channels_) merged.merge(ch->stats());
+  return merged;
+}
+
+}  // namespace fgnvm::sys

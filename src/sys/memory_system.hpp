@@ -1,0 +1,90 @@
+// Top-level memory system: address decoder + one controller per channel.
+//
+// This is the public simulation API: submit(addr, op) -> completion events,
+// tick() once per memory cycle, energy() for the Section-6 accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/geometry.hpp"
+#include "mem/timing.hpp"
+#include "nvm/energy.hpp"
+#include "sched/controller.hpp"
+
+namespace fgnvm::sys {
+
+/// Which bank model backs the system.
+enum class BankKind : std::uint8_t {
+  kFgNvm,  ///< PCM bank with 2-D subdivision (the paper's subject)
+  kDram,   ///< DRAM bank with optional SALP (comparison substrate)
+};
+
+/// Complete description of one simulated memory system.
+struct SystemConfig {
+  std::string name = "fgnvm";
+  BankKind bank_kind = BankKind::kFgNvm;
+  mem::AddressMapping mapping = mem::AddressMapping::kRowInterleaved;
+  mem::MemGeometry geometry;
+  mem::TimingParams timing;
+  nvm::AccessModes modes;
+  sched::ControllerConfig controller;
+  nvm::EnergyParams energy;
+
+  /// Builds from a flat Config; see individual from_config methods for keys.
+  /// Access-mode keys: partial_activation, multi_activation,
+  /// background_writes (booleans, default on).
+  static SystemConfig from_config(const Config& cfg);
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const SystemConfig& cfg);
+
+  const SystemConfig& config() const { return cfg_; }
+  const mem::AddressDecoder& decoder() const { return decoder_; }
+
+  /// Backpressure check for the channel that `addr` maps to.
+  bool can_accept(Addr addr, OpType op) const;
+
+  /// Submits a request; returns its id. Precondition: can_accept().
+  RequestId submit(Addr addr, OpType op, Cycle now, std::uint64_t cpu_tag = 0);
+
+  /// Advances all channels one memory cycle.
+  void tick(Cycle now);
+
+  /// Completed read requests (and forwarded reads) since the last call.
+  std::vector<mem::MemRequest> take_completed();
+
+  /// Earliest cycle any channel could do work absent new arrivals.
+  Cycle next_event(Cycle now) const;
+
+  bool idle() const;
+
+  /// Section-6 energy accounting over `elapsed` memory cycles.
+  nvm::EnergyBreakdown energy(Cycle elapsed) const;
+
+  /// Aggregated bank activity across the whole system.
+  nvm::BankStats bank_totals() const;
+
+  /// Merged controller stats (counters summed across channels).
+  StatSet controller_stats() const;
+
+  std::uint64_t submitted_reads() const { return submitted_reads_; }
+  std::uint64_t submitted_writes() const { return submitted_writes_; }
+
+ private:
+  SystemConfig cfg_;
+  mem::AddressDecoder decoder_;
+  std::vector<std::unique_ptr<sched::Controller>> channels_;
+  nvm::EnergyModel energy_model_;
+  RequestId next_id_ = 1;
+  std::uint64_t submitted_reads_ = 0;
+  std::uint64_t submitted_writes_ = 0;
+};
+
+}  // namespace fgnvm::sys

@@ -1,0 +1,107 @@
+#include "sys/presets.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "dram/dram_bank.hpp"
+#include "nvm/technology.hpp"
+
+namespace fgnvm::sys {
+
+mem::MemGeometry reference_geometry() {
+  mem::MemGeometry g;
+  g.channels = 1;
+  g.ranks_per_channel = 1;
+  g.banks_per_rank = 8;
+  g.rows_per_bank = 4096;
+  g.row_bytes = 1024;  // paper: baseline ACT senses 1KB
+  g.line_bytes = 64;
+  g.num_sags = 1;
+  g.num_cds = 1;
+  return g;
+}
+
+SystemConfig baseline_config() {
+  SystemConfig sc;
+  sc.name = "baseline";
+  sc.geometry = reference_geometry();
+  sc.modes = nvm::AccessModes::all_off();
+  sc.controller.policy = sched::SchedulerPolicy::kFrfcfs;
+  return sc;
+}
+
+SystemConfig fgnvm_config(std::uint64_t sags, std::uint64_t cds,
+                          bool multi_issue) {
+  SystemConfig sc;
+  sc.name = "fgnvm_" + std::to_string(sags) + "x" + std::to_string(cds) +
+            (multi_issue ? "_mi" : "");
+  sc.geometry = reference_geometry();
+  sc.geometry.num_sags = sags;
+  sc.geometry.num_cds = cds;
+  sc.geometry.validate();
+  sc.modes = nvm::AccessModes::all_on();
+  sc.controller.policy = sched::SchedulerPolicy::kFrfcfsAugmented;
+  if (multi_issue) {
+    sc.controller.issue_width = 2;
+    sc.controller.bus_lanes = 2;
+  }
+  return sc;
+}
+
+SystemConfig many_banks_config(std::uint64_t sags, std::uint64_t cds) {
+  SystemConfig sc;
+  sc.name = std::to_string(reference_geometry().banks_per_rank * sags * cds) +
+            "banks";
+  sc.geometry = reference_geometry();
+  if (sc.geometry.rows_per_bank % sags != 0 ||
+      sc.geometry.row_bytes % cds != 0) {
+    throw std::runtime_error("many_banks_config: indivisible geometry");
+  }
+  sc.geometry.banks_per_rank *= sags * cds;
+  sc.geometry.rows_per_bank /= sags;
+  sc.geometry.row_bytes /= cds;
+  sc.geometry.num_sags = 1;
+  sc.geometry.num_cds = 1;
+  sc.geometry.validate();
+  // Plain independent banks: each senses its (small) full row.
+  sc.modes = nvm::AccessModes::all_off();
+  sc.controller.policy = sched::SchedulerPolicy::kFrfcfs;
+  return sc;
+}
+
+SystemConfig dram_config(std::uint64_t subarrays) {
+  SystemConfig sc;
+  sc.name = subarrays > 1 ? "dram_salp" + std::to_string(subarrays) : "dram";
+  sc.bank_kind = BankKind::kDram;
+  sc.geometry = reference_geometry();
+  sc.geometry.num_sags = subarrays;
+  sc.geometry.num_cds = 1;
+  sc.geometry.validate();
+  sc.timing = dram::ddr3_timing();
+  sc.modes = nvm::AccessModes::all_off();
+  sc.controller.policy = sched::SchedulerPolicy::kFrfcfs;
+  return sc;
+}
+
+SystemConfig technology_config(nvm::Technology tech, std::uint64_t sags,
+                               std::uint64_t cds) {
+  SystemConfig sc = (sags == 1 && cds == 1) ? baseline_config()
+                                            : fgnvm_config(sags, cds);
+  const nvm::TechnologyProfile profile = nvm::technology_profile(tech);
+  sc.timing = profile.timing;
+  sc.energy = profile.energy;
+  sc.name = profile.name + "_" + sc.name;
+  return sc;
+}
+
+SystemConfig perfect_config() {
+  SystemConfig sc = fgnvm_config(8, 16, /*multi_issue=*/true);
+  sc.name = "perfect";
+  // One CD per cache line (1024B row / 64B line = 16 CDs) senses exactly the
+  // requested line; a very wide bus removes column conflicts entirely.
+  sc.controller.issue_width = 8;
+  sc.controller.bus_lanes = 8;
+  return sc;
+}
+
+}  // namespace fgnvm::sys

@@ -1,0 +1,51 @@
+// Named memory-system configurations used by the paper's evaluation.
+//
+//  * baseline      — the PCM prototype: 8 banks/rank, one bank-wide row
+//                    buffer, full-row sensing, serialized writes (a 1x1
+//                    FgNVM with all access modes off).
+//  * fgnvm NxM     — N SAGs x M CDs per bank, all three access modes on,
+//                    augmented FRFCFS.
+//  * fgnvm NxM + Multi-Issue — ditto plus issue_width/bus_lanes of 2.
+//  * many_banks    — the "128 Banks" comparison: each (SAG, CD) pair of the
+//                    reference FgNVM becomes an independent bank of the same
+//                    size (same total capacity, same accessible units),
+//                    sharing only the channel data bus.
+//  * perfect       — energy reference that senses exactly one cache line per
+//                    activation and is never blocked ("8x32 Perfect" in
+//                    Figure 5) — modeled as a CD-per-line FgNVM with a very
+//                    wide bus.
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/technology.hpp"
+#include "sys/memory_system.hpp"
+
+namespace fgnvm::sys {
+
+/// The paper's Table-2 memory system shape shared by all presets.
+mem::MemGeometry reference_geometry();
+
+SystemConfig baseline_config();
+
+SystemConfig fgnvm_config(std::uint64_t sags, std::uint64_t cds,
+                          bool multi_issue = false);
+
+/// Splits every (SAG, CD) pair of an `sags` x `cds` FgNVM into an
+/// independent plain bank: banks *= sags*cds, rows /= sags, row_bytes /= cds.
+SystemConfig many_banks_config(std::uint64_t sags, std::uint64_t cds);
+
+/// Figure-5 idealized reference: per-line sensing, unconstrained issue.
+SystemConfig perfect_config();
+
+/// DDR3-like DRAM with `subarrays` SALP subarrays per bank (1 =
+/// conventional DRAM). The Section-2 comparison substrate: destructive
+/// reads, precharge/restore, refresh, one-dimensional subdivision only.
+SystemConfig dram_config(std::uint64_t subarrays = 1);
+
+/// FgNVM (or, with a 1x1 grid and all-off modes, a baseline bank) built on
+/// a specific NVM technology's timing/energy profile.
+SystemConfig technology_config(nvm::Technology tech, std::uint64_t sags,
+                               std::uint64_t cds);
+
+}  // namespace fgnvm::sys

@@ -1,0 +1,52 @@
+#include "trace/analyzer.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fgnvm::trace {
+
+TraceSummary analyze(const Trace& trace, const mem::MemGeometry& geometry) {
+  mem::AddressDecoder decoder(geometry);
+  TraceSummary s;
+  s.memory_ops = trace.records.size();
+  s.total_instructions = trace.total_instructions();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_row_in_bank;
+  std::unordered_set<Addr> lines;
+  std::uint64_t reuses = 0;
+  for (const TraceRecord& r : trace.records) {
+    (r.op == OpType::kRead ? s.reads : s.writes) += 1;
+    const auto d = decoder.decode(r.addr);
+    const std::uint64_t bank_key =
+        (d.channel * geometry.ranks_per_channel + d.rank) *
+            geometry.banks_per_rank +
+        d.bank;
+    const auto it = last_row_in_bank.find(bank_key);
+    if (it != last_row_in_bank.end() && it->second == d.row) ++reuses;
+    last_row_in_bank[bank_key] = d.row;
+    lines.insert(r.addr / geometry.line_bytes);
+  }
+  s.mpki = trace.mpki();
+  s.write_fraction =
+      s.memory_ops ? static_cast<double>(s.writes) /
+                         static_cast<double>(s.memory_ops)
+                   : 0.0;
+  s.row_reuse = s.memory_ops ? static_cast<double>(reuses) /
+                                   static_cast<double>(s.memory_ops)
+                             : 0.0;
+  s.unique_lines = lines.size();
+  s.footprint_bytes = s.unique_lines * geometry.line_bytes;
+  return s;
+}
+
+std::string TraceSummary::to_string() const {
+  std::ostringstream os;
+  os << "ops=" << memory_ops << " (R=" << reads << " W=" << writes
+     << ") insts=" << total_instructions << " mpki=" << mpki
+     << " wfrac=" << write_fraction << " row_reuse=" << row_reuse
+     << " footprint=" << (footprint_bytes >> 20) << "MB";
+  return os.str();
+}
+
+}  // namespace fgnvm::trace

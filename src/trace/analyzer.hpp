@@ -1,0 +1,32 @@
+// Trace characterization: the statistics the generator is supposed to hit.
+// Used to validate generated workloads and to inspect external traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/geometry.hpp"
+#include "trace/trace.hpp"
+
+namespace fgnvm::trace {
+
+struct TraceSummary {
+  std::uint64_t memory_ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total_instructions = 0;
+  double mpki = 0.0;
+  double write_fraction = 0.0;
+  /// Fraction of accesses whose (bank, row) equals the previous access to
+  /// the same bank — the row-buffer-hit potential under an open-row policy.
+  double row_reuse = 0.0;
+  std::uint64_t unique_lines = 0;
+  std::uint64_t footprint_bytes = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes the summary with addresses decoded against `geometry`.
+TraceSummary analyze(const Trace& trace, const mem::MemGeometry& geometry);
+
+}  // namespace fgnvm::trace

@@ -1,0 +1,96 @@
+#include "trace/generator.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace fgnvm::trace {
+
+namespace {
+constexpr std::uint64_t kLineBytes = 64;
+// Row span used to model spatial runs; matches the reference geometry's
+// 1KB row so that `row_locality` directly controls row-buffer reuse.
+constexpr std::uint64_t kRowBytes = 1024;
+}  // namespace
+
+void WorkloadProfile::validate() const {
+  const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (mpki <= 0.0 || mpki > 1000.0)
+    throw std::invalid_argument("WorkloadProfile: mpki out of (0, 1000]");
+  if (!in01(write_fraction) || !in01(row_locality) || !in01(random_fraction) ||
+      !in01(burstiness))
+    throw std::invalid_argument("WorkloadProfile: fraction out of [0, 1]");
+  if (burstiness > 0.95)
+    throw std::invalid_argument("WorkloadProfile: burstiness > 0.95");
+  if (num_streams == 0)
+    throw std::invalid_argument("WorkloadProfile: num_streams == 0");
+  if (footprint_bytes < kRowBytes * num_streams)
+    throw std::invalid_argument("WorkloadProfile: footprint too small");
+}
+
+Trace generate_trace(const WorkloadProfile& profile,
+                     std::uint64_t memory_ops) {
+  profile.validate();
+  Rng rng(profile.seed * 0x51A3C0FFEEULL + 17);
+
+  const std::uint64_t lines = profile.footprint_bytes / kLineBytes;
+  const std::uint64_t lines_per_row = kRowBytes / kLineBytes;
+
+  // Each stream walks lines sequentially; a "row break" rolls a new random
+  // position so that `row_locality` is the probability a stream's next
+  // access falls in the same row as its previous one.
+  std::vector<std::uint64_t> stream_pos(profile.num_streams);
+  for (auto& pos : stream_pos) pos = rng.next_below(lines);
+
+  // Gap distribution: mean instructions between memory ops is 1000 / mpki.
+  // LLC misses cluster (a cache-block-crossing loop misses several times in
+  // quick succession, then computes); `burstiness` is the fraction of
+  // records that arrive nearly back-to-back, with the remaining gaps
+  // stretched so the overall MPKI is preserved.
+  const double mean_gap = 1000.0 / profile.mpki;
+  const double long_gap =
+      profile.burstiness < 1.0
+          ? (mean_gap - 1.5 * profile.burstiness) / (1.0 - profile.burstiness)
+          : mean_gap;
+  const std::uint64_t long_gap_mean =
+      long_gap > 1.0 ? static_cast<std::uint64_t>(long_gap) : 1;
+
+  Trace t;
+  t.name = profile.name;
+  t.records.reserve(memory_ops);
+  for (std::uint64_t i = 0; i < memory_ops; ++i) {
+    TraceRecord rec;
+    if (rng.next_bool(profile.burstiness)) {
+      rec.icount_gap = rng.next_below(4);  // in-burst: 0..3 insts apart
+    } else {
+      rec.icount_gap = rng.next_gap(long_gap_mean) - 1;
+    }
+    rec.op = rng.next_bool(profile.write_fraction) ? OpType::kWrite
+                                                   : OpType::kRead;
+
+    std::uint64_t line;
+    if (rng.next_bool(profile.random_fraction)) {
+      line = rng.next_below(lines);
+    } else {
+      const std::uint64_t s = rng.next_below(profile.num_streams);
+      std::uint64_t pos = stream_pos[s];
+      const bool same_row = rng.next_bool(profile.row_locality);
+      if (same_row) {
+        // Stay in the current row: step to the next line, wrapping within
+        // the row so the run never silently crosses a row boundary.
+        const std::uint64_t row_base = pos - (pos % lines_per_row);
+        pos = row_base + (pos + 1) % lines_per_row;
+      } else {
+        pos = rng.next_below(lines);
+      }
+      stream_pos[s] = pos;
+      line = pos;
+    }
+    rec.addr = line * kLineBytes;
+    t.records.push_back(rec);
+  }
+  return t;
+}
+
+}  // namespace fgnvm::trace

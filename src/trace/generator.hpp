@@ -1,0 +1,37 @@
+// Synthetic LLC-miss trace generation.
+//
+// Substitutes for the paper's gem5 + SPEC2006 Simpoint slices. A workload is
+// described by the first-order statistics that determine memory-system
+// behaviour: miss intensity (MPKI), read/write mix, spatial locality (how
+// long the stream stays within one memory row), and memory-level parallelism
+// (number of concurrent access streams). The generator produces a
+// deterministic trace for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace fgnvm::trace {
+
+struct WorkloadProfile {
+  std::string name = "synthetic";
+  double mpki = 20.0;            ///< LLC misses (reads+writes) per 1k insts
+  double write_fraction = 0.3;   ///< fraction of memory ops that are writes
+  double row_locality = 0.5;     ///< P(next access continues current row run)
+  double random_fraction = 0.1;  ///< P(access goes to a uniform random line)
+  double burstiness = 0.5;       ///< fraction of misses arriving in bursts
+                                 ///< (back-to-back, as LLC misses do)
+  std::uint64_t num_streams = 4; ///< concurrent sequential streams (MLP)
+  std::uint64_t footprint_bytes = 64ULL << 20;  ///< working-set size
+  std::uint64_t seed = 1;
+
+  /// Sanity-checks ranges; throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Generates `memory_ops` records following the profile.
+Trace generate_trace(const WorkloadProfile& profile, std::uint64_t memory_ops);
+
+}  // namespace fgnvm::trace

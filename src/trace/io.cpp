@@ -1,0 +1,158 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fgnvm::trace {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# " << trace.name << "\n";
+  for (const TraceRecord& r : trace.records) {
+    os << r.icount_gap << " 0x" << std::hex << r.addr << std::dec << " "
+       << to_string(r.op) << "\n";
+  }
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(f, trace);
+}
+
+Trace read_trace(std::istream& is, const std::string& name) {
+  Trace t;
+  t.name = name;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line_no == 1 && line.size() > 2) t.name = line.substr(2);
+      continue;
+    }
+    std::istringstream ls(line);
+    TraceRecord r;
+    std::string addr_str, op_str;
+    if (!(ls >> r.icount_gap >> addr_str >> op_str)) {
+      throw std::runtime_error("read_trace: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    r.addr = std::stoull(addr_str, nullptr, 0);
+    if (op_str == "R" || op_str == "r") {
+      r.op = OpType::kRead;
+    } else if (op_str == "W" || op_str == "w") {
+      r.op = OpType::kWrite;
+    } else {
+      throw std::runtime_error("read_trace: bad op '" + op_str + "' at line " +
+                               std::to_string(line_no));
+    }
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(f, path);
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'G', 'T', '1'};
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  unsigned char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  os.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  unsigned char buf[sizeof(T)];
+  is.read(reinterpret_cast<char*>(buf), sizeof(T));
+  if (!is) throw std::runtime_error("read_trace_binary: truncated input");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(buf[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace_binary(std::ostream& os, const Trace& trace) {
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(trace.name.size()));
+  os.write(trace.name.data(),
+           static_cast<std::streamsize>(trace.name.size()));
+  put<std::uint64_t>(os, trace.records.size());
+  put<std::uint64_t>(os, trace.tail_icount);
+  for (const TraceRecord& r : trace.records) {
+    if (r.icount_gap > 0xFFFFFFFFull) {
+      throw std::runtime_error("write_trace_binary: gap exceeds 32 bits");
+    }
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(r.icount_gap));
+    put<std::uint64_t>(os, r.addr);
+    put<std::uint8_t>(os, r.op == OpType::kWrite ? 1 : 0);
+  }
+}
+
+void write_trace_binary_file(const std::string& path, const Trace& trace) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_trace_binary_file: cannot open " + path);
+  write_trace_binary(f, trace);
+}
+
+Trace read_trace_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("read_trace_binary: bad magic");
+  }
+  Trace t;
+  const auto name_len = get<std::uint32_t>(is);
+  if (name_len > 4096) {
+    throw std::runtime_error("read_trace_binary: implausible name length");
+  }
+  t.name.resize(name_len);
+  is.read(t.name.data(), name_len);
+  const auto count = get<std::uint64_t>(is);
+  t.tail_icount = get<std::uint64_t>(is);
+  // Cap the speculative reservation; a lying header fails on the first
+  // truncated record rather than in a giant allocation.
+  t.records.reserve(std::min<std::uint64_t>(count, 1u << 20));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.icount_gap = get<std::uint32_t>(is);
+    r.addr = get<std::uint64_t>(is);
+    r.op = get<std::uint8_t>(is) ? OpType::kWrite : OpType::kRead;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+Trace read_trace_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_trace_binary_file: cannot open " + path);
+  return read_trace_binary(f);
+}
+
+Trace read_trace_any_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_trace_any_file: cannot open " + path);
+  char magic[4] = {};
+  f.read(magic, 4);
+  f.close();
+  if (std::memcmp(magic, kMagic, 4) == 0) return read_trace_binary_file(path);
+  return read_trace_file(path);
+}
+
+}  // namespace fgnvm::trace

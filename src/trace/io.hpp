@@ -1,0 +1,35 @@
+// Text trace serialization.
+//
+// Format (NVMain-style, one record per line):
+//   <icount_gap> <hex address> <R|W>
+// Lines starting with '#' are comments; the first comment conventionally
+// carries the trace name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace fgnvm::trace {
+
+void write_trace(std::ostream& os, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Throws std::runtime_error on malformed input.
+Trace read_trace(std::istream& is, const std::string& name = "trace");
+Trace read_trace_file(const std::string& path);
+
+/// Compact binary format ("FGT1" magic), little-endian:
+///   magic[4] | u32 name_len | name | u64 record_count | u64 tail_icount |
+///   records of { u32 icount_gap, u64 addr, u8 op }.
+/// About 5x smaller than text and byte-exact on round-trip.
+void write_trace_binary(std::ostream& os, const Trace& trace);
+void write_trace_binary_file(const std::string& path, const Trace& trace);
+Trace read_trace_binary(std::istream& is);
+Trace read_trace_binary_file(const std::string& path);
+
+/// Reads either format, sniffing the magic bytes.
+Trace read_trace_any_file(const std::string& path);
+
+}  // namespace fgnvm::trace

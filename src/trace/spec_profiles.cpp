@@ -1,0 +1,50 @@
+#include "trace/spec_profiles.hpp"
+
+#include <stdexcept>
+
+namespace fgnvm::trace {
+
+std::vector<WorkloadProfile> spec2006_profiles() {
+  // name, mpki, write_fraction, row_locality, random_fraction, streams,
+  // footprint, seed
+  std::vector<WorkloadProfile> v;
+  const auto add = [&](const char* name, double mpki, double wfrac,
+                       double rowloc, double rnd, double burst,
+                       std::uint64_t streams, std::uint64_t footprint_mb,
+                       std::uint64_t seed) {
+    WorkloadProfile p;
+    p.name = name;
+    p.mpki = mpki;
+    p.write_fraction = wfrac;
+    p.row_locality = rowloc;
+    p.random_fraction = rnd;
+    p.burstiness = burst;
+    p.num_streams = streams;
+    p.footprint_bytes = footprint_mb << 20;
+    p.seed = seed;
+    p.validate();
+    v.push_back(p);
+  };
+  add("bwaves", 14.0, 0.25, 0.80, 0.05, 0.70, 6, 128, 101);
+  add("GemsFDTD", 18.0, 0.30, 0.65, 0.10, 0.65, 8, 192, 102);
+  add("lbm", 30.0, 0.45, 0.85, 0.02, 0.75, 8, 128, 103);
+  add("leslie3d", 15.0, 0.30, 0.75, 0.05, 0.65, 6, 96, 104);
+  add("libquantum", 25.0, 0.25, 0.95, 0.00, 0.80, 1, 64, 105);
+  add("mcf", 35.0, 0.20, 0.15, 0.50, 0.55, 16, 256, 106);
+  add("milc", 22.0, 0.35, 0.55, 0.15, 0.60, 8, 160, 107);
+  add("omnetpp", 12.0, 0.30, 0.25, 0.40, 0.40, 12, 128, 108);
+  add("soplex", 20.0, 0.25, 0.50, 0.20, 0.55, 8, 160, 109);
+  add("sphinx3", 12.0, 0.10, 0.60, 0.15, 0.40, 6, 64, 110);
+  add("wrf", 10.0, 0.30, 0.70, 0.10, 0.50, 6, 96, 111);
+  add("zeusmp", 11.0, 0.35, 0.75, 0.08, 0.55, 8, 96, 112);
+  return v;
+}
+
+WorkloadProfile spec2006_profile(const std::string& name) {
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::runtime_error("unknown SPEC2006 profile: " + name);
+}
+
+}  // namespace fgnvm::trace

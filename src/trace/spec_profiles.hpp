@@ -1,0 +1,31 @@
+// SPEC CPU2006-like workload profiles.
+//
+// The paper evaluates the SPEC2006 benchmarks with >= 10 LLC
+// misses-per-kilo-instruction. We model the twelve usual high-MPKI members
+// with profiles whose intensity, write mix, and locality follow published
+// characterizations of the suite (e.g. the SALP and NVMain studies):
+//
+//   * streaming / stencil codes (libquantum, lbm, bwaves, leslie3d, zeusmp)
+//     have long sequential runs -> high row locality; lbm is write-heavy.
+//   * pointer-chasing / graph codes (mcf, omnetpp) are random-dominated with
+//     poor locality and high MPKI (mcf) or moderate MPKI (omnetpp).
+//   * solver codes (soplex, milc, GemsFDTD, sphinx3, wrf) sit in between.
+//
+// Absolute numbers are synthetic by construction; what matters for the
+// reproduction is the *spread* of behaviours the paper's Figures 4 and 5
+// average over.
+#pragma once
+
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace fgnvm::trace {
+
+/// All modeled benchmark profiles, in the order figures print them.
+std::vector<WorkloadProfile> spec2006_profiles();
+
+/// Looks a profile up by name; throws std::runtime_error if unknown.
+WorkloadProfile spec2006_profile(const std::string& name);
+
+}  // namespace fgnvm::trace

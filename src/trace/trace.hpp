@@ -1,0 +1,46 @@
+// Memory trace representation.
+//
+// A trace is the LLC-miss stream of one benchmark slice: each record is a
+// memory request plus the number of instructions the core executed since the
+// previous request (the gem5/Simpoint equivalent in this reproduction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fgnvm::trace {
+
+struct TraceRecord {
+  std::uint64_t icount_gap = 0;  // instructions since the previous record
+  Addr addr = 0;
+  OpType op = OpType::kRead;
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceRecord> records;
+  /// Instructions executed after the last memory operation (e.g. a filtered
+  /// trace whose tail accesses all hit in cache).
+  std::uint64_t tail_icount = 0;
+
+  /// Total instructions represented, including the tail.
+  std::uint64_t total_instructions() const {
+    std::uint64_t n = tail_icount;
+    for (const auto& r : records) n += r.icount_gap + 1;
+    return n;
+  }
+
+  std::uint64_t memory_ops() const { return records.size(); }
+
+  double mpki() const {
+    const std::uint64_t insts = total_instructions();
+    return insts == 0 ? 0.0
+                      : 1000.0 * static_cast<double>(records.size()) /
+                            static_cast<double>(insts);
+  }
+};
+
+}  // namespace fgnvm::trace

@@ -1,0 +1,53 @@
+#include "wear/start_gap.hpp"
+
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace fgnvm::wear {
+
+StartGapLeveler::StartGapLeveler(std::uint64_t region_lines,
+                                 std::uint64_t gap_interval,
+                                 std::uint64_t line_bytes)
+    : region_lines_(region_lines),
+      slots_(region_lines + 1),
+      gap_interval_(gap_interval),
+      line_bytes_(line_bytes),
+      gap_(region_lines) {  // spare initially at the end
+  if (region_lines_ == 0) {
+    throw std::invalid_argument("StartGapLeveler: empty region");
+  }
+  if (gap_interval_ == 0) {
+    throw std::invalid_argument("StartGapLeveler: zero gap interval");
+  }
+  if (!is_pow2(line_bytes_)) {
+    throw std::invalid_argument("StartGapLeveler: line_bytes must be pow2");
+  }
+}
+
+Addr StartGapLeveler::translate(Addr logical) const {
+  const std::uint64_t line = (logical / line_bytes_) % region_lines_;
+  const Addr offset = logical % line_bytes_;
+  // Qureshi's formulation: rotate within the N logical lines, then skip
+  // over the gap slot — an injective map of N lines onto N+1 slots.
+  std::uint64_t p = (line + start_) % region_lines_;
+  if (p >= gap_) ++p;
+  return p * line_bytes_ + offset;
+}
+
+bool StartGapLeveler::on_write() {
+  if (++writes_since_move_ < gap_interval_) return false;
+  writes_since_move_ = 0;
+  ++gap_moves_;
+  // The gap swaps with the line just below it; when it wraps past slot 0
+  // the whole mapping has rotated by one line.
+  if (gap_ == 0) {
+    gap_ = slots_ - 1;
+    start_ = (start_ + 1) % region_lines_;
+  } else {
+    --gap_;
+  }
+  return true;
+}
+
+}  // namespace fgnvm::wear

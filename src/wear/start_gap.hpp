@@ -1,0 +1,51 @@
+// Start-Gap wear leveling (Qureshi et al., MICRO'09).
+//
+// An algebraic logical->physical line remapping that needs only two
+// registers per region: the memory keeps one spare line (the "gap"); every
+// `gap_interval` writes the gap swaps with its neighbour, slowly rotating
+// the whole address space past the gap. Hot lines thus migrate across
+// physical locations and wear spreads without a translation table.
+//
+// Mapping for a region of N logical lines over N+1 physical slots with
+// state (start, gap):
+//   p = (logical + start) mod (N + 1); if p >= gap then p += 1... (classic
+// formulation below uses the equivalent "skip the gap" rule).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fgnvm::wear {
+
+class StartGapLeveler {
+ public:
+  /// `region_lines` logical lines backed by region_lines + 1 physical
+  /// slots; the gap moves one slot per `gap_interval` writes.
+  StartGapLeveler(std::uint64_t region_lines, std::uint64_t gap_interval = 100,
+                  std::uint64_t line_bytes = 64);
+
+  /// Translates a logical byte address to its current physical address.
+  Addr translate(Addr logical) const;
+
+  /// Accounts one write; periodically moves the gap (one line per call at
+  /// most). Returns true if the gap moved.
+  bool on_write();
+
+  std::uint64_t gap_position() const { return gap_; }
+  std::uint64_t start() const { return start_; }
+  std::uint64_t gap_moves() const { return gap_moves_; }
+  std::uint64_t region_lines() const { return region_lines_; }
+
+ private:
+  std::uint64_t region_lines_;
+  std::uint64_t slots_;        // region_lines_ + 1
+  std::uint64_t gap_interval_;
+  std::uint64_t line_bytes_;
+  std::uint64_t gap_;          // physical slot holding the spare
+  std::uint64_t start_ = 0;    // rotation offset
+  std::uint64_t writes_since_move_ = 0;
+  std::uint64_t gap_moves_ = 0;
+};
+
+}  // namespace fgnvm::wear

@@ -1,0 +1,61 @@
+#include "wear/wear_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace fgnvm::wear {
+
+double WearSummary::lifetime_fraction(std::uint64_t capacity_lines) const {
+  if (max_writes == 0 || capacity_lines == 0) return 1.0;
+  const double uniform = static_cast<double>(total_writes) /
+                         static_cast<double>(capacity_lines);
+  return std::min(1.0, uniform / static_cast<double>(max_writes));
+}
+
+std::string WearSummary::to_string() const {
+  std::ostringstream os;
+  os << "lines=" << lines_written << " writes=" << total_writes
+     << " max=" << max_writes << " mean=" << mean_writes << " cov=" << cov;
+  return os.str();
+}
+
+WearMap::WearMap(std::uint64_t line_bytes) : line_bytes_(line_bytes) {
+  if (!is_pow2(line_bytes_)) {
+    throw std::invalid_argument("WearMap: line_bytes must be a power of two");
+  }
+}
+
+void WearMap::record_write(Addr addr) {
+  ++counts_[addr / line_bytes_];
+  ++total_;
+}
+
+std::uint64_t WearMap::writes_to(Addr addr) const {
+  const auto it = counts_.find(addr / line_bytes_);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+WearSummary WearMap::summarize() const {
+  WearSummary s;
+  s.lines_written = counts_.size();
+  s.total_writes = total_;
+  if (counts_.empty()) return s;
+  double sum = 0.0, sq = 0.0;
+  for (const auto& [line, n] : counts_) {
+    s.max_writes = std::max(s.max_writes, n);
+    sum += static_cast<double>(n);
+    sq += static_cast<double>(n) * static_cast<double>(n);
+  }
+  const double count = static_cast<double>(counts_.size());
+  s.mean_writes = sum / count;
+  const double var = sq / count - s.mean_writes * s.mean_writes;
+  s.cov = s.mean_writes > 0 ? std::sqrt(std::max(0.0, var)) / s.mean_writes
+                            : 0.0;
+  return s;
+}
+
+}  // namespace fgnvm::wear

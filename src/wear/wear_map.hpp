@@ -1,0 +1,50 @@
+// PCM endurance bookkeeping.
+//
+// PCM cells survive a bounded number of program cycles (~1e8); main-memory
+// viability depends on spreading writes. The WearMap counts line-granular
+// writes and summarizes the distribution: lifetime is governed by the
+// *hottest* line, so the max/mean ratio directly scales achievable lifetime
+// versus the ideal uniform spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace fgnvm::wear {
+
+struct WearSummary {
+  std::uint64_t lines_written = 0;   // distinct lines with >= 1 write
+  std::uint64_t total_writes = 0;
+  std::uint64_t max_writes = 0;      // hottest line
+  double mean_writes = 0.0;          // over written lines
+  double cov = 0.0;                  // coefficient of variation
+
+  /// Lifetime relative to a perfectly uniform write spread over
+  /// `capacity_lines`: uniform_per_line / max_per_line.
+  double lifetime_fraction(std::uint64_t capacity_lines) const;
+
+  std::string to_string() const;
+};
+
+class WearMap {
+ public:
+  explicit WearMap(std::uint64_t line_bytes = 64);
+
+  /// Records one line write at `addr`.
+  void record_write(Addr addr);
+
+  std::uint64_t writes_to(Addr addr) const;
+  std::uint64_t total_writes() const { return total_; }
+
+  WearSummary summarize() const;
+
+ private:
+  std::uint64_t line_bytes_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<Addr, std::uint64_t> counts_;
+};
+
+}  // namespace fgnvm::wear

@@ -1,0 +1,71 @@
+// Tests for the Table-1 area model: the calibrated points must reproduce
+// the paper's numbers and the model must scale sensibly between them.
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+
+namespace fgnvm::area {
+namespace {
+
+TEST(AreaModel, AvgColumnMatchesPaper8x8) {
+  const AreaReport r = fgnvm_area(8, 8);
+  EXPECT_NEAR(r.row_latches_um2, 2325.0, 25.0);
+  EXPECT_NEAR(r.csl_latches_um2, 636.3, 10.0);
+  EXPECT_DOUBLE_EQ(r.lysel_wires_best_mm2, 0.0);
+  EXPECT_NEAR(r.total_best_um2, 2961.0, 30.0);
+  EXPECT_LT(r.total_best_fraction, 0.001);  // "< 0.1%"
+}
+
+TEST(AreaModel, MaxColumnMatchesPaper32x32) {
+  const AreaReport r = fgnvm_area(32, 32);
+  EXPECT_NEAR(r.row_latches_um2, 9333.0, 100.0);
+  EXPECT_NEAR(r.csl_latches_um2, 4242.0, 40.0);
+  EXPECT_NEAR(r.lysel_wires_worst_mm2, 0.10, 0.01);
+  EXPECT_NEAR(r.total_worst_mm2, 0.11, 0.01);
+  EXPECT_NEAR(r.total_worst_fraction, 0.0036, 0.0006);  // "0.36%"
+}
+
+TEST(AreaModel, RowLatchesScaleWithSags) {
+  const AreaReport a = fgnvm_area(4, 4);
+  const AreaReport b = fgnvm_area(8, 4);
+  EXPECT_NEAR(b.row_latches_um2 / a.row_latches_um2, 2.0, 1e-9);
+}
+
+TEST(AreaModel, CslLatchesGrowWithBothDims) {
+  const AreaReport a = fgnvm_area(8, 8);
+  const AreaReport b = fgnvm_area(8, 16);
+  const AreaReport c = fgnvm_area(16, 8);
+  EXPECT_GT(b.csl_latches_um2, a.csl_latches_um2);
+  EXPECT_GT(c.csl_latches_um2, a.csl_latches_um2);
+}
+
+TEST(AreaModel, DecoderDeltaNegligible) {
+  // The per-SAG additions are tens of transistors against a multi-million
+  // transistor decoder — Table 1 reports this as "N/A".
+  const AreaReport r = fgnvm_area(32, 32);
+  EXPECT_GT(r.row_decoder_delta_transistors, 0.0);
+  EXPECT_LT(r.row_decoder_delta_transistors,
+            decoder_transistors(1ULL << 17) * 0.01);
+}
+
+TEST(AreaModel, DecoderTransistorsGrowsSuperlinearly) {
+  const double t1 = decoder_transistors(1024);
+  const double t2 = decoder_transistors(2048);
+  EXPECT_GT(t2, 2.0 * t1 * 0.99);
+  EXPECT_EQ(decoder_transistors(1), 0.0);
+}
+
+TEST(AreaModel, WiresScaleWithEnableCount) {
+  AreaParams p;
+  const AreaReport a = fgnvm_area(8, 8, 1ULL << 17, p);
+  const AreaReport b = fgnvm_area(16, 16, 1ULL << 17, p);
+  EXPECT_NEAR(b.lysel_wires_worst_mm2 / a.lysel_wires_worst_mm2, 4.0, 1e-6);
+}
+
+TEST(AreaModel, ReportToStringMentionsDims) {
+  const AreaReport r = fgnvm_area(8, 8);
+  EXPECT_NE(r.to_string().find("8x8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgnvm::area

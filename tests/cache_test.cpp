@@ -1,0 +1,152 @@
+// Unit tests for the cache substrate: set-associative LRU cache and the
+// three-level hierarchy used to produce LLC-miss traces.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
+
+namespace fgnvm::cache {
+namespace {
+
+CacheParams tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheParams{512, 64, 2};
+}
+
+TEST(CacheParamsTest, Validation) {
+  EXPECT_NO_THROW(tiny_cache().validate());
+  EXPECT_THROW((CacheParams{500, 64, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheParams{64, 64, 2}).validate(), std::invalid_argument);
+  EXPECT_EQ(tiny_cache().num_sets(), 4u);
+}
+
+TEST(SetAssocCacheTest, HitAfterFill) {
+  SetAssocCache c(tiny_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.probe(0x1000));
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(SetAssocCacheTest, LruEvictsOldest) {
+  SetAssocCache c(tiny_cache());
+  // Three lines mapping to the same set (stride = sets * line = 256B).
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  c.access(0x0000, false);  // touch A so B is LRU
+  c.access(0x0200, false);  // evicts B
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x0100));
+  EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(SetAssocCacheTest, DirtyEvictionReportsWriteback) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, true);  // dirty
+  c.access(0x0100, false);
+  const AccessOutcome out = c.access(0x0200, false);  // evicts dirty 0x0000
+  ASSERT_TRUE(out.writeback.has_value());
+  EXPECT_EQ(*out.writeback, 0x0000u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(SetAssocCacheTest, CleanEvictionSilent) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  const AccessOutcome out = c.access(0x0200, false);
+  EXPECT_FALSE(out.writeback.has_value());
+}
+
+TEST(SetAssocCacheTest, WriteOnHitSetsDirty) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, false);
+  c.access(0x0000, true);  // hit, marks dirty
+  c.access(0x0100, false);
+  const AccessOutcome out = c.access(0x0200, false);
+  ASSERT_TRUE(out.writeback.has_value());
+}
+
+TEST(HierarchyTest, MissGeneratesOneFillRead) {
+  CacheHierarchy h;
+  const auto ops = h.access(0x123440, OpType::kRead);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].op, OpType::kRead);
+  EXPECT_EQ(ops[0].addr, 0x123440u);
+}
+
+TEST(HierarchyTest, HitGeneratesNothing) {
+  CacheHierarchy h;
+  h.access(0x123440, OpType::kRead);
+  EXPECT_TRUE(h.access(0x123440, OpType::kRead).empty());
+}
+
+TEST(HierarchyTest, WorkingSetLargerThanLlcMisses) {
+  HierarchyParams p;
+  p.l1 = {32 * 1024, 64, 8};
+  p.l2 = {64 * 1024, 64, 8};
+  p.l3 = {128 * 1024, 64, 16};
+  CacheHierarchy h(p);
+  // Stream 1MB twice: second pass still misses (capacity).
+  std::size_t second_pass_misses = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Addr a = 0; a < (1 << 20); a += 64) {
+      const auto ops = h.access(a, OpType::kRead);
+      if (pass == 1 && !ops.empty()) ++second_pass_misses;
+    }
+  }
+  EXPECT_GT(second_pass_misses, 10000u);
+}
+
+TEST(HierarchyTest, SmallWorkingSetCached) {
+  CacheHierarchy h;  // 8MB LLC
+  std::size_t second_pass_misses = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Addr a = 0; a < (1 << 18); a += 64) {  // 256KB
+      const auto ops = h.access(a, OpType::kRead);
+      if (pass == 1 && !ops.empty()) ++second_pass_misses;
+    }
+  }
+  EXPECT_EQ(second_pass_misses, 0u);
+}
+
+TEST(HierarchyTest, DirtyDataEventuallyWrittenToMemory) {
+  HierarchyParams p;
+  p.l1 = {1024, 64, 2};
+  p.l2 = {2048, 64, 2};
+  p.l3 = {4096, 64, 2};
+  CacheHierarchy h(p);
+  std::size_t mem_writes = 0;
+  // Write a footprint much larger than the LLC; dirty lines must spill.
+  for (Addr a = 0; a < (1 << 16); a += 64) {
+    for (const auto& op : h.access(a, OpType::kWrite)) {
+      mem_writes += op.op == OpType::kWrite;
+    }
+  }
+  EXPECT_GT(mem_writes, 100u);
+}
+
+TEST(HierarchyTest, FilterTracePreservesInstructionCount) {
+  trace::Trace raw;
+  raw.name = "raw";
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    raw.records.push_back({3, (i % 64) * 64, OpType::kRead});  // 4KB set: hits
+  }
+  CacheHierarchy h;
+  const trace::Trace llc = filter_trace(raw, h);
+  EXPECT_EQ(llc.name, "raw.llc");
+  // After the 64 cold misses everything hits; gaps fold into later records.
+  EXPECT_EQ(llc.records.size(), 64u);
+  EXPECT_LT(llc.mpki(), raw.mpki());
+}
+
+TEST(HierarchyTest, LlcMpkiComputed) {
+  CacheHierarchy h;
+  for (Addr a = 0; a < (1 << 20); a += 64) h.access(a, OpType::kRead);
+  EXPECT_GT(h.llc_mpki(1'000'000), 0.0);
+}
+
+}  // namespace
+}  // namespace fgnvm::cache

@@ -1,0 +1,192 @@
+// Randomized stress tests (deterministic seeds).
+//
+// 1. Bank-FSM fuzz: drive FgNvmBank with thousands of randomly chosen legal
+//    commands and check the structural invariants the controller relies on
+//    (earliest_* monotonicity, sensed-mask consistency, Section-4 mode
+//    constraints).
+// 2. System fuzz: random workloads x random configurations through the full
+//    runner, checking conservation and termination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "mem/geometry.hpp"
+#include "nvm/fgnvm_bank.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+
+namespace fgnvm {
+namespace {
+
+mem::MemGeometry fuzz_geometry(std::uint64_t sags, std::uint64_t cds) {
+  mem::MemGeometry g;
+  g.banks_per_rank = 1;
+  g.rows_per_bank = 4096;
+  g.row_bytes = 1024;
+  g.line_bytes = 64;
+  g.num_sags = sags;
+  g.num_cds = cds;
+  return g;
+}
+
+struct BankFuzzCase {
+  std::uint64_t sags;
+  std::uint64_t cds;
+  nvm::AccessModes modes;
+  std::uint64_t seed;
+  std::string label;
+};
+
+class BankFuzz : public ::testing::TestWithParam<BankFuzzCase> {};
+
+TEST_P(BankFuzz, InvariantsHoldUnderRandomLegalCommands) {
+  const BankFuzzCase& c = GetParam();
+  const mem::MemGeometry geo = fuzz_geometry(c.sags, c.cds);
+  const mem::TimingParams timing;
+  const mem::AddressDecoder dec(geo);
+  nvm::FgNvmBank bank(geo, timing, c.modes);
+  Rng rng(c.seed);
+
+  Cycle now = 0;
+  std::uint64_t issued = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t row = rng.next_below(geo.rows_per_bank);
+    const std::uint64_t col = rng.next_below(geo.lines_per_row());
+    const auto addr = dec.decode(dec.encode(0, 0, 0, row, col));
+    const bool is_write = rng.next_bool(0.3);
+
+    // Advance time randomly (including zero) to interleave operations.
+    now += rng.next_below(30);
+
+    if (is_write) {
+      if (!bank.row_open(addr)) {
+        const Cycle at =
+            bank.earliest_activate(addr, nvm::ActPurpose::kWrite, now);
+        ASSERT_GE(at, now);
+        // Monotonicity: asking later returns exactly max(later, same locks).
+        ASSERT_EQ(bank.earliest_activate(addr, nvm::ActPurpose::kWrite,
+                                         now + 5),
+                  std::max(at, now + 5));
+        bank.issue_activate(addr, nvm::ActPurpose::kWrite, at);
+        ASSERT_TRUE(bank.row_open(addr));
+        now = at;
+      }
+      const Cycle at = bank.earliest_column(addr, OpType::kWrite, now);
+      ASSERT_GE(at, now);
+      const Cycle done = bank.issue_column(addr, OpType::kWrite, at);
+      ASSERT_GT(done, at);
+      // Writes invalidate their CD's sensed data.
+      ASSERT_FALSE(bank.segments_sensed(addr));
+      now = at;
+    } else {
+      if (!bank.segments_sensed(addr)) {
+        const Cycle at =
+            bank.earliest_activate(addr, nvm::ActPurpose::kRead, now);
+        ASSERT_GE(at, now);
+        bank.issue_activate(addr, nvm::ActPurpose::kRead, at);
+        // Sensed-mask consistency: the request's segments are now marked.
+        ASSERT_TRUE(bank.segments_sensed(addr));
+        now = at;
+      }
+      const Cycle at = bank.earliest_column(addr, OpType::kRead, now);
+      ASSERT_GE(at, now);
+      const Cycle burst = bank.issue_column(addr, OpType::kRead, at);
+      ASSERT_EQ(burst, at + timing.tCAS);
+      now = at;
+    }
+    ++issued;
+
+    // Global invariant: the sensed mask never contains CDs outside the
+    // geometry.
+    for (std::uint64_t s = 0; s < geo.num_sags; ++s) {
+      const std::uint64_t mask = bank.sensed_mask(s);
+      if (geo.num_cds < 64) {
+        ASSERT_EQ(mask & ~((1ULL << geo.num_cds) - 1), 0u);
+      }
+    }
+  }
+  EXPECT_EQ(issued, 4000u);
+  const nvm::BankStats& s = bank.stats();
+  EXPECT_EQ(s.reads + s.writes, 4000u);
+  // Sensing only happens in whole segments.
+  EXPECT_EQ(s.bits_sensed % (geo.segment_bytes() * 8), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BankFuzz,
+    ::testing::Values(
+        BankFuzzCase{1, 1, nvm::AccessModes::all_off(), 11, "baseline"},
+        BankFuzzCase{4, 4, nvm::AccessModes::all_on(), 22, "fg4x4"},
+        BankFuzzCase{8, 2, nvm::AccessModes::all_on(), 33, "fg8x2"},
+        BankFuzzCase{8, 32, nvm::AccessModes::all_on(), 44, "fg8x32subline"},
+        BankFuzzCase{4, 4, nvm::AccessModes{true, false, true}, 55,
+                     "nomulti"},
+        BankFuzzCase{4, 4, nvm::AccessModes{false, true, false}, 66,
+                     "nopartial_nobg"},
+        BankFuzzCase{32, 32, nvm::AccessModes::all_on(), 77, "fg32x32"}),
+    [](const ::testing::TestParamInfo<BankFuzzCase>& info) {
+      return info.param.label;
+    });
+
+struct SystemFuzzCase {
+  std::uint64_t seed;
+  std::string label;
+};
+
+class SystemFuzz : public ::testing::TestWithParam<SystemFuzzCase> {};
+
+TEST_P(SystemFuzz, RandomConfigAndWorkloadConserves) {
+  Rng rng(GetParam().seed);
+
+  trace::WorkloadProfile p;
+  p.name = "fuzz";
+  p.mpki = 5.0 + rng.next_double() * 40.0;
+  p.write_fraction = rng.next_double() * 0.5;
+  p.row_locality = rng.next_double();
+  p.random_fraction = rng.next_double() * 0.5;
+  p.burstiness = rng.next_double() * 0.9;
+  p.num_streams = 1 + rng.next_below(16);
+  p.footprint_bytes = (8ULL + rng.next_below(120)) << 20;
+  p.seed = rng.next_u64();
+  const trace::Trace tr = trace::generate_trace(p, 1500);
+
+  const std::uint64_t sag_choices[] = {1, 2, 4, 8, 16};
+  const std::uint64_t cd_choices[] = {1, 2, 4, 8, 16};
+  sys::SystemConfig cfg = sys::fgnvm_config(sag_choices[rng.next_below(5)],
+                                            cd_choices[rng.next_below(5)]);
+  cfg.modes.partial_activation = rng.next_bool(0.8);
+  cfg.modes.multi_activation = rng.next_bool(0.8);
+  cfg.modes.background_writes = rng.next_bool(0.8);
+  cfg.controller.issue_width = 1 + rng.next_below(2);
+  cfg.controller.bus_lanes = cfg.controller.issue_width;
+  cfg.controller.policy = rng.next_bool(0.5)
+                              ? sched::SchedulerPolicy::kFrfcfs
+                              : sched::SchedulerPolicy::kFrfcfsAugmented;
+  cfg.mapping = rng.next_bool(0.5) ? mem::AddressMapping::kRowInterleaved
+                                   : mem::AddressMapping::kPermuted;
+
+  const sim::RunResult r = sim::run_workload(tr, cfg, {}, 50'000'000);
+  EXPECT_EQ(r.reads + r.writes, 1500u);
+  EXPECT_EQ(r.instructions, tr.total_instructions());
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LE(r.ipc, 4.0);
+  EXPECT_EQ(r.controller.counter("reads.accepted"),
+            r.controller.counter("cmd.read"));
+  EXPECT_EQ(r.controller.counter("writes.accepted"),
+            r.controller.counter("cmd.write"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SystemFuzz,
+    ::testing::Values(SystemFuzzCase{1001, "s1"}, SystemFuzzCase{1002, "s2"},
+                      SystemFuzzCase{1003, "s3"}, SystemFuzzCase{1004, "s4"},
+                      SystemFuzzCase{1005, "s5"}, SystemFuzzCase{1006, "s6"},
+                      SystemFuzzCase{1007, "s7"}, SystemFuzzCase{1008, "s8"}),
+    [](const ::testing::TestParamInfo<SystemFuzzCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace fgnvm

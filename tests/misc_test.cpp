@@ -1,0 +1,102 @@
+// Edge-case coverage for small surfaces: JSON escaping, config setters,
+// histogram boundaries, decoded-address helpers, and preset corners.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "wear/wear_map.hpp"
+
+namespace fgnvm {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(sim::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(sim::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(sim::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(sim::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(sim::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(sim::json_escape("plain"), "plain");
+}
+
+TEST(ConfigSetters, TypedRoundTrips) {
+  Config c;
+  c.set_u64("n", 42);
+  c.set_double("d", 2.5);
+  c.set_bool("b", true);
+  c.set("s", "text");
+  EXPECT_EQ(c.get_u64("n", 0), 42u);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0), 2.5);
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_EQ(c.get_string("s", ""), "text");
+  EXPECT_EQ(c.keys().size(), 4u);
+  EXPECT_NE(c.to_string().find("n = 42"), std::string::npos);
+}
+
+TEST(HistogramEdges, EmptyAndClamping) {
+  Histogram h(4, 1.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);  // empty
+  h.add(-5.0);                        // clamps to bucket 0
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.add(100.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_GE(h.percentile(1.0), 0.0);
+}
+
+TEST(DecodedAddrHelpers, SameBankSameRow) {
+  mem::DecodedAddr a, b;
+  a.channel = b.channel = 0;
+  a.rank = b.rank = 1;
+  a.bank = b.bank = 2;
+  a.row = 10;
+  b.row = 10;
+  EXPECT_TRUE(a.same_bank(b));
+  EXPECT_TRUE(a.same_row(b));
+  b.row = 11;
+  EXPECT_FALSE(a.same_row(b));
+  b.bank = 3;
+  EXPECT_FALSE(a.same_bank(b));
+}
+
+TEST(MemRequestHelpers, LatencyAndFlags) {
+  mem::MemRequest r;
+  r.op = OpType::kWrite;
+  EXPECT_TRUE(r.is_write());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.latency(), 0u);
+  r.arrival = 10;
+  r.completion = 35;
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.latency(), 25u);
+}
+
+TEST(PresetCorners, PerfectConfigIsWide) {
+  const sys::SystemConfig p = sys::perfect_config();
+  EXPECT_GT(p.controller.bus_lanes, 2u);
+  EXPECT_GT(p.geometry.num_cds, 8u);
+  EXPECT_EQ(p.name, "perfect");
+}
+
+TEST(PresetCorners, ManyBanksRejectsIndivisible) {
+  // 4096 rows / 8192 SAG-equivalents cannot divide.
+  EXPECT_THROW(sys::many_banks_config(8192, 1), std::runtime_error);
+}
+
+TEST(WearSummaryEdges, EmptyMapIsBenign) {
+  wear::WearMap m;
+  const wear::WearSummary s = m.summarize();
+  EXPECT_EQ(s.lines_written, 0u);
+  EXPECT_EQ(s.max_writes, 0u);
+  EXPECT_DOUBLE_EQ(s.lifetime_fraction(1000), 1.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(OpTypeHelpers, Names) {
+  EXPECT_STREQ(to_string(OpType::kRead), "R");
+  EXPECT_STREQ(to_string(OpType::kWrite), "W");
+}
+
+}  // namespace
+}  // namespace fgnvm

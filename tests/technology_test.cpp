@@ -1,0 +1,86 @@
+// Tests for the NVM technology profiles and their system presets.
+#include <gtest/gtest.h>
+
+#include "nvm/technology.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace fgnvm::nvm {
+namespace {
+
+TEST(Technology, NamesRoundTrip) {
+  for (const Technology t :
+       {Technology::kPcm, Technology::kRram, Technology::kSttRam}) {
+    EXPECT_EQ(technology_from_string(to_string(t)), t);
+  }
+  EXPECT_EQ(technology_from_string("stt-ram"), Technology::kSttRam);
+  EXPECT_THROW(technology_from_string("flash"), std::runtime_error);
+}
+
+TEST(Technology, PcmMatchesTable2) {
+  const TechnologyProfile p = technology_profile(Technology::kPcm);
+  EXPECT_EQ(p.timing.tRCD, 10u);
+  EXPECT_EQ(p.timing.tCAS, 38u);
+  EXPECT_EQ(p.timing.tWP, 60u);
+  EXPECT_DOUBLE_EQ(p.energy.read_pj_per_bit, 2.0);
+  EXPECT_DOUBLE_EQ(p.energy.write_pj_per_bit, 16.0);
+}
+
+TEST(Technology, OrderingAcrossTechnologies) {
+  const auto pcm = technology_profile(Technology::kPcm);
+  const auto rram = technology_profile(Technology::kRram);
+  const auto stt = technology_profile(Technology::kSttRam);
+  // Reads: STT < RRAM < PCM; writes likewise; energy likewise.
+  EXPECT_LT(stt.timing.tCAS, rram.timing.tCAS);
+  EXPECT_LT(rram.timing.tCAS, pcm.timing.tCAS);
+  EXPECT_LT(stt.timing.write_occupancy(512), rram.timing.write_occupancy(512));
+  EXPECT_LT(rram.timing.write_occupancy(512), pcm.timing.write_occupancy(512));
+  EXPECT_LT(stt.energy.write_pj_per_bit, rram.energy.write_pj_per_bit);
+}
+
+TEST(Technology, NoRefreshNoPrecharge) {
+  for (const Technology t :
+       {Technology::kPcm, Technology::kRram, Technology::kSttRam}) {
+    const auto p = technology_profile(t);
+    EXPECT_EQ(p.timing.tRAS, 0u) << to_string(t);
+    EXPECT_EQ(p.timing.tRP, 0u) << to_string(t);
+    EXPECT_EQ(p.timing.tREFI, 0u) << to_string(t);
+  }
+}
+
+TEST(Technology, PresetNamesCompose) {
+  EXPECT_EQ(sys::technology_config(Technology::kRram, 4, 4).name,
+            "rram_fgnvm_4x4");
+  EXPECT_EQ(sys::technology_config(Technology::kRram, 1, 1).name,
+            "rram_baseline");
+}
+
+TEST(Technology, FasterDeviceLeavesLessToHide) {
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("lbm"), 3000);
+  const auto gain = [&](Technology t) {
+    const double base =
+        sim::run_workload(tr, sys::technology_config(t, 1, 1)).ipc;
+    const double fg =
+        sim::run_workload(tr, sys::technology_config(t, 4, 4)).ipc;
+    return fg / base;
+  };
+  // Write-heavy lbm: the PCM speedup must exceed the STT-RAM speedup.
+  EXPECT_GT(gain(Technology::kPcm), gain(Technology::kSttRam));
+}
+
+TEST(Technology, SttRamBaselineFasterThanPcmBaseline) {
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("milc"), 3000);
+  const double pcm =
+      sim::run_workload(tr, sys::technology_config(Technology::kPcm, 1, 1)).ipc;
+  const double stt =
+      sim::run_workload(tr, sys::technology_config(Technology::kSttRam, 1, 1))
+          .ipc;
+  EXPECT_GT(stt, pcm);
+}
+
+}  // namespace
+}  // namespace fgnvm::nvm
