@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_geometry.dir/ablation_geometry.cpp.o"
+  "CMakeFiles/ablation_geometry.dir/ablation_geometry.cpp.o.d"
+  "ablation_geometry"
+  "ablation_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_writes.dir/ablation_writes.cpp.o"
+  "CMakeFiles/ablation_writes.dir/ablation_writes.cpp.o.d"
+  "ablation_writes"
+  "ablation_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ipc.dir/fig4_ipc.cpp.o"
+  "CMakeFiles/fig4_ipc.dir/fig4_ipc.cpp.o.d"
+  "fig4_ipc"
+  "fig4_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

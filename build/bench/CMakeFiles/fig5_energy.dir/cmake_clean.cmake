@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_energy.dir/fig5_energy.cpp.o"
+  "CMakeFiles/fig5_energy.dir/fig5_energy.cpp.o.d"
+  "fig5_energy"
+  "fig5_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

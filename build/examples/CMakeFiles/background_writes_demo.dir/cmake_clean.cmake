@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_writes_demo.dir/background_writes_demo.cpp.o"
+  "CMakeFiles/background_writes_demo.dir/background_writes_demo.cpp.o.d"
+  "background_writes_demo"
+  "background_writes_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_writes_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

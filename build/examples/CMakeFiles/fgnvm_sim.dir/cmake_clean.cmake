@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgnvm_sim.dir/fgnvm_sim.cpp.o"
+  "CMakeFiles/fgnvm_sim.dir/fgnvm_sim.cpp.o.d"
+  "fgnvm_sim"
+  "fgnvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgnvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("cache")
+subdirs("mem")
+subdirs("nvm")
+subdirs("dram")
+subdirs("wear")
+subdirs("sched")
+subdirs("sys")
+subdirs("cpu")
+subdirs("area")
+subdirs("sim")

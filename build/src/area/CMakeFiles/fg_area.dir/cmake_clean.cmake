@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_area.dir/area_model.cpp.o"
+  "CMakeFiles/fg_area.dir/area_model.cpp.o.d"
+  "libfg_area.a"
+  "libfg_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_cache.dir/cache.cpp.o"
+  "CMakeFiles/fg_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/fg_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/fg_cache.dir/hierarchy.cpp.o.d"
+  "libfg_cache.a"
+  "libfg_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

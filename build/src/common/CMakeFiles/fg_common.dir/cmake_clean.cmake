@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_common.dir/config.cpp.o"
+  "CMakeFiles/fg_common.dir/config.cpp.o.d"
+  "CMakeFiles/fg_common.dir/log.cpp.o"
+  "CMakeFiles/fg_common.dir/log.cpp.o.d"
+  "CMakeFiles/fg_common.dir/stats.cpp.o"
+  "CMakeFiles/fg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fg_common.dir/table.cpp.o"
+  "CMakeFiles/fg_common.dir/table.cpp.o.d"
+  "libfg_common.a"
+  "libfg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

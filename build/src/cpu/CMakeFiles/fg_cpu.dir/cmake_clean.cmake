@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_cpu.dir/rob_cpu.cpp.o"
+  "CMakeFiles/fg_cpu.dir/rob_cpu.cpp.o.d"
+  "libfg_cpu.a"
+  "libfg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_dram.dir/dram_bank.cpp.o"
+  "CMakeFiles/fg_dram.dir/dram_bank.cpp.o.d"
+  "libfg_dram.a"
+  "libfg_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cpp" "src/mem/CMakeFiles/fg_mem.dir/bus.cpp.o" "gcc" "src/mem/CMakeFiles/fg_mem.dir/bus.cpp.o.d"
+  "/root/repo/src/mem/geometry.cpp" "src/mem/CMakeFiles/fg_mem.dir/geometry.cpp.o" "gcc" "src/mem/CMakeFiles/fg_mem.dir/geometry.cpp.o.d"
+  "/root/repo/src/mem/timing.cpp" "src/mem/CMakeFiles/fg_mem.dir/timing.cpp.o" "gcc" "src/mem/CMakeFiles/fg_mem.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_mem.dir/bus.cpp.o"
+  "CMakeFiles/fg_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/fg_mem.dir/geometry.cpp.o"
+  "CMakeFiles/fg_mem.dir/geometry.cpp.o.d"
+  "CMakeFiles/fg_mem.dir/timing.cpp.o"
+  "CMakeFiles/fg_mem.dir/timing.cpp.o.d"
+  "libfg_mem.a"
+  "libfg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/energy.cpp" "src/nvm/CMakeFiles/fg_nvm.dir/energy.cpp.o" "gcc" "src/nvm/CMakeFiles/fg_nvm.dir/energy.cpp.o.d"
+  "/root/repo/src/nvm/fgnvm_bank.cpp" "src/nvm/CMakeFiles/fg_nvm.dir/fgnvm_bank.cpp.o" "gcc" "src/nvm/CMakeFiles/fg_nvm.dir/fgnvm_bank.cpp.o.d"
+  "/root/repo/src/nvm/technology.cpp" "src/nvm/CMakeFiles/fg_nvm.dir/technology.cpp.o" "gcc" "src/nvm/CMakeFiles/fg_nvm.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/fg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

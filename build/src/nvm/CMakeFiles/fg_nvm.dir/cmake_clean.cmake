@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_nvm.dir/energy.cpp.o"
+  "CMakeFiles/fg_nvm.dir/energy.cpp.o.d"
+  "CMakeFiles/fg_nvm.dir/fgnvm_bank.cpp.o"
+  "CMakeFiles/fg_nvm.dir/fgnvm_bank.cpp.o.d"
+  "CMakeFiles/fg_nvm.dir/technology.cpp.o"
+  "CMakeFiles/fg_nvm.dir/technology.cpp.o.d"
+  "libfg_nvm.a"
+  "libfg_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/controller.cpp" "src/sched/CMakeFiles/fg_sched.dir/controller.cpp.o" "gcc" "src/sched/CMakeFiles/fg_sched.dir/controller.cpp.o.d"
+  "/root/repo/src/sched/write_queue.cpp" "src/sched/CMakeFiles/fg_sched.dir/write_queue.cpp.o" "gcc" "src/sched/CMakeFiles/fg_sched.dir/write_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvm/CMakeFiles/fg_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sched.dir/controller.cpp.o"
+  "CMakeFiles/fg_sched.dir/controller.cpp.o.d"
+  "CMakeFiles/fg_sched.dir/write_queue.cpp.o"
+  "CMakeFiles/fg_sched.dir/write_queue.cpp.o.d"
+  "libfg_sched.a"
+  "libfg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sim.dir/report.cpp.o"
+  "CMakeFiles/fg_sim.dir/report.cpp.o.d"
+  "CMakeFiles/fg_sim.dir/runner.cpp.o"
+  "CMakeFiles/fg_sim.dir/runner.cpp.o.d"
+  "libfg_sim.a"
+  "libfg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/memory_system.cpp" "src/sys/CMakeFiles/fg_sys.dir/memory_system.cpp.o" "gcc" "src/sys/CMakeFiles/fg_sys.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sys/presets.cpp" "src/sys/CMakeFiles/fg_sys.dir/presets.cpp.o" "gcc" "src/sys/CMakeFiles/fg_sys.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/fg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/fg_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fg_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sys.dir/memory_system.cpp.o"
+  "CMakeFiles/fg_sys.dir/memory_system.cpp.o.d"
+  "CMakeFiles/fg_sys.dir/presets.cpp.o"
+  "CMakeFiles/fg_sys.dir/presets.cpp.o.d"
+  "libfg_sys.a"
+  "libfg_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

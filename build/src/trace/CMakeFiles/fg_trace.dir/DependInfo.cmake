@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/fg_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/fg_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/fg_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/fg_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/fg_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/fg_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/spec_profiles.cpp" "src/trace/CMakeFiles/fg_trace.dir/spec_profiles.cpp.o" "gcc" "src/trace/CMakeFiles/fg_trace.dir/spec_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/fg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/fg_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/fg_trace.dir/generator.cpp.o"
+  "CMakeFiles/fg_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/fg_trace.dir/io.cpp.o"
+  "CMakeFiles/fg_trace.dir/io.cpp.o.d"
+  "CMakeFiles/fg_trace.dir/spec_profiles.cpp.o"
+  "CMakeFiles/fg_trace.dir/spec_profiles.cpp.o.d"
+  "libfg_trace.a"
+  "libfg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

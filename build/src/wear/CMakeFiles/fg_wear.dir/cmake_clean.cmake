@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_wear.dir/start_gap.cpp.o"
+  "CMakeFiles/fg_wear.dir/start_gap.cpp.o.d"
+  "CMakeFiles/fg_wear.dir/wear_map.cpp.o"
+  "CMakeFiles/fg_wear.dir/wear_map.cpp.o.d"
+  "libfg_wear.a"
+  "libfg_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

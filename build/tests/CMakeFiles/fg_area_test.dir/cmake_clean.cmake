@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_area_test.dir/area_test.cpp.o"
+  "CMakeFiles/fg_area_test.dir/area_test.cpp.o.d"
+  "fg_area_test"
+  "fg_area_test.pdb"
+  "fg_area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_cache_test.dir/cache_test.cpp.o"
+  "CMakeFiles/fg_cache_test.dir/cache_test.cpp.o.d"
+  "fg_cache_test"
+  "fg_cache_test.pdb"
+  "fg_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_common_test.dir/common_test.cpp.o"
+  "CMakeFiles/fg_common_test.dir/common_test.cpp.o.d"
+  "fg_common_test"
+  "fg_common_test.pdb"
+  "fg_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_cpu_test.dir/cpu_test.cpp.o"
+  "CMakeFiles/fg_cpu_test.dir/cpu_test.cpp.o.d"
+  "fg_cpu_test"
+  "fg_cpu_test.pdb"
+  "fg_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_dram_test.dir/dram_test.cpp.o"
+  "CMakeFiles/fg_dram_test.dir/dram_test.cpp.o.d"
+  "fg_dram_test"
+  "fg_dram_test.pdb"
+  "fg_dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

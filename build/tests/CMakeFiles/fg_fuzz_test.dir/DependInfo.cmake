@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fg_fuzz_test.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fg_fuzz_test.dir/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/fg_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/fg_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fg_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/wear/CMakeFiles/fg_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fg_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/fg_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_fuzz_test.dir/fuzz_test.cpp.o"
+  "CMakeFiles/fg_fuzz_test.dir/fuzz_test.cpp.o.d"
+  "fg_fuzz_test"
+  "fg_fuzz_test.pdb"
+  "fg_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

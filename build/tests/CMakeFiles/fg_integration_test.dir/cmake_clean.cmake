@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_integration_test.dir/integration_test.cpp.o"
+  "CMakeFiles/fg_integration_test.dir/integration_test.cpp.o.d"
+  "fg_integration_test"
+  "fg_integration_test.pdb"
+  "fg_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

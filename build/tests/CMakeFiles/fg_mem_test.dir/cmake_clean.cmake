@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_mem_test.dir/mem_test.cpp.o"
+  "CMakeFiles/fg_mem_test.dir/mem_test.cpp.o.d"
+  "fg_mem_test"
+  "fg_mem_test.pdb"
+  "fg_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

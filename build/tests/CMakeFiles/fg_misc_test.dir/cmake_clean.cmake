@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_misc_test.dir/misc_test.cpp.o"
+  "CMakeFiles/fg_misc_test.dir/misc_test.cpp.o.d"
+  "fg_misc_test"
+  "fg_misc_test.pdb"
+  "fg_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_multicore_test.dir/multicore_test.cpp.o"
+  "CMakeFiles/fg_multicore_test.dir/multicore_test.cpp.o.d"
+  "fg_multicore_test"
+  "fg_multicore_test.pdb"
+  "fg_multicore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_multicore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

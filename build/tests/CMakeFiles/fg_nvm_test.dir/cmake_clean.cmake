@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_nvm_test.dir/nvm_bank_test.cpp.o"
+  "CMakeFiles/fg_nvm_test.dir/nvm_bank_test.cpp.o.d"
+  "fg_nvm_test"
+  "fg_nvm_test.pdb"
+  "fg_nvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_nvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sched_test.dir/sched_test.cpp.o"
+  "CMakeFiles/fg_sched_test.dir/sched_test.cpp.o.d"
+  "fg_sched_test"
+  "fg_sched_test.pdb"
+  "fg_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

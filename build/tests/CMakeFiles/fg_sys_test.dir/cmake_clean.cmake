@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sys_test.dir/sys_test.cpp.o"
+  "CMakeFiles/fg_sys_test.dir/sys_test.cpp.o.d"
+  "fg_sys_test"
+  "fg_sys_test.pdb"
+  "fg_sys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

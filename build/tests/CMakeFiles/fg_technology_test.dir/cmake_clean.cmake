@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_technology_test.dir/technology_test.cpp.o"
+  "CMakeFiles/fg_technology_test.dir/technology_test.cpp.o.d"
+  "fg_technology_test"
+  "fg_technology_test.pdb"
+  "fg_technology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_technology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/fg_trace_test.dir/trace_test.cpp.o.d"
+  "fg_trace_test"
+  "fg_trace_test.pdb"
+  "fg_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

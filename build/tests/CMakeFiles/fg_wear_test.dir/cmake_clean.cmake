@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_wear_test.dir/wear_test.cpp.o"
+  "CMakeFiles/fg_wear_test.dir/wear_test.cpp.o.d"
+  "fg_wear_test"
+  "fg_wear_test.pdb"
+  "fg_wear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_wear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fg_common_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_nvm_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_sys_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_area_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_dram_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_wear_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_multicore_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_technology_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/fg_integration_test[1]_include.cmake")
