@@ -24,21 +24,33 @@ int main(int argc, char** argv) {
   };
 
   const sys::SystemConfig baseline = sys::baseline_config();
-  const auto traces = benchutil::evaluation_traces(ops);
+  sim::SweepRunner pool;
+  const auto traces = benchutil::evaluation_traces(ops, pool);
 
   std::cout << "Ablation: geometry sweep (gmean speedup / mean relative "
                "energy over "
             << traces.size() << " workloads, " << ops << " ops each)\n\n";
 
+  // One baseline run per trace (runs are deterministic, so sharing it
+  // across the geometry points changes nothing), then the full
+  // dims x traces grid as one flat parallel sweep.
+  const auto base_runs = benchutil::sweep_workloads(pool, traces, baseline, {});
+  std::vector<sim::RunResult> grid(dims.size() * traces.size());
+  pool.for_each(grid.size(), [&](std::size_t i) {
+    const auto& [sags, cds] = dims[i / traces.size()];
+    grid[i] = sim::run_workload(traces[i % traces.size()],
+                                sys::fgnvm_config(sags, cds));
+  });
+
   Table t({"SAGs x CDs", "speedup", "rel. energy", "underfetch ACTs/read",
            "bg writes/write"});
-  for (const auto& [sags, cds] : dims) {
-    sys::SystemConfig cfg = sys::fgnvm_config(sags, cds);
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const auto& [sags, cds] = dims[d];
     std::vector<double> speedups, energies;
     double underfetch = 0.0, reads = 0.0, bg = 0.0, writes = 0.0;
-    for (const trace::Trace& tr : traces) {
-      const sim::RunResult base = sim::run_workload(tr, baseline);
-      const sim::RunResult r = sim::run_workload(tr, cfg);
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+      const sim::RunResult& base = base_runs[ti].base;
+      const sim::RunResult& r = grid[d * traces.size() + ti];
       speedups.push_back(r.ipc / base.ipc);
       energies.push_back(r.energy.total_pj() / base.energy.total_pj());
       underfetch += static_cast<double>(r.banks.underfetch_acts);

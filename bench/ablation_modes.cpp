@@ -41,13 +41,21 @@ int main(int argc, char** argv) {
   Table energy(headers);
   std::vector<std::vector<double>> sp(variants.size()), en(variants.size());
 
-  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
-    const sim::RunResult base = sim::run_workload(tr, baseline);
-    std::vector<std::string> srow{tr.name}, erow{tr.name};
+  std::vector<sys::SystemConfig> configs;
+  for (const Variant& v : variants) {
+    sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
+    cfg.modes = v.modes;
+    configs.push_back(cfg);
+  }
+
+  sim::SweepRunner pool;
+  const auto traces = benchutil::evaluation_traces(ops, pool);
+  for (const benchutil::WorkloadRuns& runs :
+       benchutil::sweep_workloads(pool, traces, baseline, configs)) {
+    const sim::RunResult& base = runs.base;
+    std::vector<std::string> srow{runs.name}, erow{runs.name};
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
-      cfg.modes = variants[i].modes;
-      const sim::RunResult r = sim::run_workload(tr, cfg);
+      const sim::RunResult& r = runs.variants[i];
       const double s = r.ipc / base.ipc;
       const double e = r.energy.total_pj() / base.energy.total_pj();
       sp[i].push_back(s);

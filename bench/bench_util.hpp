@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sys/memory_system.hpp"
 #include "trace/generator.hpp"
 #include "trace/spec_profiles.hpp"
 
@@ -32,6 +34,52 @@ inline std::vector<trace::Trace> evaluation_traces(std::uint64_t memory_ops) {
     traces.push_back(trace::generate_trace(p, memory_ops));
   }
   return traces;
+}
+
+/// Parallel variant: generates the traces on `pool` (generation is seeded
+/// per profile, so the result is identical to the serial overload).
+inline std::vector<trace::Trace> evaluation_traces(std::uint64_t memory_ops,
+                                                   sim::SweepRunner& pool) {
+  const std::vector<trace::WorkloadProfile> profiles =
+      trace::spec2006_profiles();
+  std::vector<trace::Trace> traces(profiles.size());
+  pool.for_each(profiles.size(), [&](std::size_t i) {
+    traces[i] = trace::generate_trace(profiles[i], memory_ops);
+  });
+  return traces;
+}
+
+/// One workload's runs from sweep_workloads, in the caller's config order.
+struct WorkloadRuns {
+  std::string name;                      // trace name
+  sim::RunResult base;                   // baseline config run
+  std::vector<sim::RunResult> variants;  // one result per variant config
+};
+
+/// Runs every (trace, config) pair — baseline plus each variant — on the
+/// pool and returns results indexed by trace. Result/table order depends
+/// only on the input order, never on scheduling, so driver output is
+/// byte-identical at any thread count.
+inline std::vector<WorkloadRuns> sweep_workloads(
+    sim::SweepRunner& pool, const std::vector<trace::Trace>& traces,
+    const sys::SystemConfig& baseline,
+    const std::vector<sys::SystemConfig>& variants) {
+  const std::size_t ncfg = 1 + variants.size();
+  std::vector<WorkloadRuns> out(traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    out[t].name = traces[t].name;
+    out[t].variants.resize(variants.size());
+  }
+  pool.for_each(traces.size() * ncfg, [&](std::size_t i) {
+    const std::size_t t = i / ncfg;
+    const std::size_t c = i % ncfg;
+    if (c == 0) {
+      out[t].base = sim::run_workload(traces[t], baseline);
+    } else {
+      out[t].variants[c - 1] = sim::run_workload(traces[t], variants[c - 1]);
+    }
+  });
+  return out;
 }
 
 }  // namespace fgnvm::benchutil

@@ -48,12 +48,13 @@ int main(int argc, char** argv) {
            "FgNVM+Multi-Issue"});
   std::vector<std::vector<double>> speedups(variants.size());
 
-  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
-    const sim::RunResult base = sim::run_workload(tr, baseline);
-    std::vector<std::string> row{tr.name};
+  sim::SweepRunner pool;
+  const auto traces = benchutil::evaluation_traces(ops, pool);
+  for (const benchutil::WorkloadRuns& runs :
+       benchutil::sweep_workloads(pool, traces, baseline, variants)) {
+    std::vector<std::string> row{runs.name};
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      const sim::RunResult r = sim::run_workload(tr, variants[i]);
-      const double s = r.ipc / base.ipc;
+      const double s = runs.variants[i].ipc / runs.base.ipc;
       speedups[i].push_back(s);
       row.push_back(Table::fmt(s, 3));
     }

@@ -36,13 +36,15 @@ int main(int argc, char** argv) {
   Table t({"benchmark", "8x2", "8x8", "8x32", "8x32 Perfect"});
   std::vector<std::vector<double>> rel(variants.size() + 1);
 
-  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
-    const sim::RunResult base = sim::run_workload(tr, baseline);
-    const double base_pj = base.energy.total_pj();
-    std::vector<std::string> row{tr.name};
+  sim::SweepRunner pool;
+  const auto traces = benchutil::evaluation_traces(ops, pool);
+  for (const benchutil::WorkloadRuns& runs :
+       benchutil::sweep_workloads(pool, traces, baseline, variants)) {
+    const double base_pj = runs.base.energy.total_pj();
+    std::vector<std::string> row{runs.name};
     double perfect_pj = 0.0;
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      const sim::RunResult r = sim::run_workload(tr, variants[i]);
+      const sim::RunResult& r = runs.variants[i];
       const double ratio = r.energy.total_pj() / base_pj;
       rel[i].push_back(ratio);
       row.push_back(Table::fmt(ratio, 3));

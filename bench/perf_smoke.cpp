@@ -1,0 +1,79 @@
+// Performance smoke test with machine-readable output.
+//
+// Measures two throughput figures and writes them as JSON so CI and
+// regression tooling can track them without parsing tables:
+//  * end-to-end simulator throughput: simulated memory operations per
+//    wall-clock second for the milc workload on the 4x4 FgNVM config;
+//  * sweep wall time: seconds for a SweepRunner sweep of all evaluation
+//    workloads through baseline + FgNVM 4x4.
+//
+// Usage: perf_smoke [ops] [output.json]
+//   ops          memory ops per run (default 20000; FGNVM_BENCH_OPS works)
+//   output.json  output path (default BENCH_sim_throughput.json)
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgnvm;
+  using clock = std::chrono::steady_clock;
+  const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 20000);
+  const std::string out_path =
+      argc > 2 ? argv[2] : "BENCH_sim_throughput.json";
+
+  // End-to-end throughput: repeated single runs on one thread.
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("milc"), ops);
+  const sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
+  (void)sim::run_workload(tr, cfg);  // warm-up
+  const int runs = 5;
+  const auto t0 = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = sim::run_workload(tr, cfg);
+    if (r.reads + r.writes == 0) return 1;  // defeats dead-code elimination
+  }
+  const double run_secs =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const double mem_ops_per_sec =
+      static_cast<double>(ops) * runs / run_secs;
+
+  // Sweep wall time: all evaluation workloads through baseline + FgNVM 4x4
+  // on the thread pool (FGNVM_THREADS selects the width).
+  sim::SweepRunner pool;
+  const auto t1 = clock::now();
+  const auto traces = benchutil::evaluation_traces(ops, pool);
+  const auto runs_out = benchutil::sweep_workloads(
+      pool, traces, sys::baseline_config(), {cfg});
+  const double sweep_secs =
+      std::chrono::duration<double>(clock::now() - t1).count();
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"benchmark\": \"sim_throughput\",\n"
+       << "  \"ops_per_run\": " << ops << ",\n"
+       << "  \"runs\": " << runs << ",\n"
+       << "  \"mem_ops_per_sec\": " << mem_ops_per_sec << ",\n"
+       << "  \"sweep_workloads\": " << traces.size() << ",\n"
+       << "  \"sweep_runs\": " << runs_out.size() * 2 << ",\n"
+       << "  \"sweep_threads\": " << pool.threads() << ",\n"
+       << "  \"sweep_wall_seconds\": " << sweep_secs << "\n"
+       << "}\n";
+  json.close();
+
+  std::cout << "simulated mem-ops/sec: " << mem_ops_per_sec << " (" << runs
+            << " x " << ops << " ops)\n"
+            << "sweep wall seconds: " << sweep_secs << " ("
+            << runs_out.size() * 2 << " runs on " << pool.threads()
+            << " threads)\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -99,4 +99,34 @@ void RobCpu::tick_mem_cycle(Cycle mem_now) {
   }
 }
 
+Cycle RobCpu::stalled_until(Cycle now) const {
+  if (finished()) return now;
+  // Retirement progresses if the oldest load was answered (the pop alone is
+  // a state change) or instructions short of the fence remain unretired.
+  if (!loads_.empty() && completed_.count(loads_.front().request)) return now;
+  const std::uint64_t fence =
+      loads_.empty() ? fetched_ : loads_.front().inst_index;
+  if (retired_ < std::min(fence, fetched_)) return now;
+  // Fetch progresses unless the trace is exhausted, the ROB is full, or the
+  // next record's memory queue is applying backpressure.
+  if (fetched_ >= total_insts_) return kNeverCycle;
+  if (fetched_ - retired_ >= params_.rob_entries) return kNeverCycle;
+  if (next_rec_ < trace_.records.size() && fetched_ == next_mem_inst_) {
+    const trace::TraceRecord& rec = trace_.records[next_rec_];
+    if (!mem_.can_accept(rec.addr, rec.op)) return kNeverCycle;
+  }
+  return now;
+}
+
+void RobCpu::advance_stalled(Cycle mem_cycles) {
+  const std::uint64_t n = mem_cycles * params_.cpu_per_mem_clock;
+  cpu_cycles_ += n;
+  if (fetched_ >= total_insts_) return;  // nothing left to fetch: no counter
+  if (fetched_ - retired_ >= params_.rob_entries) {
+    fetch_stalls_ += n;
+  } else {
+    backpressure_ += n;
+  }
+}
+
 }  // namespace fgnvm::cpu

@@ -45,6 +45,21 @@ class RobCpu {
   /// with `mem_now`. No-op once finished.
   void tick_mem_cycle(Cycle mem_now);
 
+  /// Event-skipping support. Returns `now` when tick_mem_cycle(now) would
+  /// change architectural state (retire, fetch, or submit), and kNeverCycle
+  /// when the core is fully stalled — i.e. every core cycle would only bump
+  /// cpu_cycles_ plus exactly one stall counter, and nothing can change
+  /// until the memory system delivers a completion or frees queue space.
+  /// The core has no internal timers, so no other return value exists.
+  Cycle stalled_until(Cycle now) const;
+
+  /// Accounts `mem_cycles` skipped memory cycles for a stalled core exactly
+  /// as the per-cycle loop would: cpu_cycles advances, and the stall counter
+  /// the current blockage selects advances with it. Precondition:
+  /// stalled_until() == kNeverCycle and the memory system's observable state
+  /// (completions, queue occupancy) does not change over the skipped span.
+  void advance_stalled(Cycle mem_cycles);
+
   bool finished() const;
 
   std::uint64_t instructions_retired() const { return retired_; }

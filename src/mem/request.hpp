@@ -15,6 +15,7 @@ struct MemRequest {
   Cycle arrival = 0;       // cycle the request entered the controller
   Cycle completion = kNeverCycle;  // cycle data returned / write retired
   std::uint64_t cpu_tag = 0;  // opaque tag for the CPU model (ROB slot etc.)
+  bool bus_blocked = false;  // column issue was ever delayed by bus contention
 
   bool is_read() const { return op == OpType::kRead; }
   bool is_write() const { return op == OpType::kWrite; }

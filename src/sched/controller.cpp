@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace fgnvm::sched {
 
@@ -71,6 +70,11 @@ Controller::Controller(const mem::MemGeometry& geometry,
   banks_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) banks_.push_back(make_bank());
   sag_last_read_.assign(n * geo_.num_sags, 0);
+  group_stamp_.assign(n * geo_.num_sags, 0);
+  reads_.reserve(cfg_.read_queue_cap);
+  inflight_reads_.reserve(cfg_.read_queue_cap);
+  completed_.reserve(cfg_.read_queue_cap);
+  write_done_times_.reserve(cfg_.bg_write_inflight_max + 1);
 }
 
 std::uint64_t Controller::sag_group(const mem::DecodedAddr& a) const {
@@ -155,10 +159,14 @@ bool Controller::try_issue_read_column(Cycle now) {
     }
     const Cycle data_start = now + timing_.tCAS;
     if (!bus_.available(data_start)) {
-      stats_.inc("bus.column_conflicts");
+      // Sticky flag, counted once at issue: "bursts delayed by bus
+      // contention". next_event folds bus availability into the candidate of
+      // a flagged read, so the event loop need not revisit busy cycles.
+      it->req.bus_blocked = true;
       if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
       continue;
     }
+    if (it->req.bus_blocked) stats_.inc("bus.column_conflicts");
     const Cycle burst_start =
         bank.issue_column(it->req.addr, OpType::kRead, now);
     assert(burst_start == data_start);
@@ -181,10 +189,10 @@ bool Controller::try_issue_read_activate(Cycle now) {
   // both mirrors the per-SAG row-latch (one pending row per SAG) and
   // guarantees the oldest request in a SAG always makes progress (no
   // livelock from row-buffer thrashing).
-  std::unordered_set<std::uint64_t> seen_groups;
+  begin_group_scan();
   for (const PendingRead& r : reads_) {
     const mem::DecodedAddr& a = r.req.addr;
-    if (!seen_groups.insert(sag_group(a)).second) continue;  // not oldest
+    if (!first_in_group(sag_group(a))) continue;  // not oldest
     nvm::Bank& bank = bank_of(a);
     if (bank.segments_sensed(a)) continue;  // waiting on column, not ACT
     std::uint64_t extra_cds = 0;
@@ -216,9 +224,9 @@ bool Controller::try_issue_write(Cycle now, bool background_only) {
   // As with reads, only the oldest write per (bank, SAG) may change that
   // SAG's open row — otherwise queued writes to different rows of one SAG
   // thrash the row latch and re-activate forever.
-  std::unordered_set<std::uint64_t> seen_groups;
-  for (const mem::MemRequest& w : writes_.entries()) {
-    const bool oldest_in_group = seen_groups.insert(sag_group(w.addr)).second;
+  begin_group_scan();
+  for (mem::MemRequest& w : writes_.entries_mut()) {
+    const bool oldest_in_group = first_in_group(sag_group(w.addr));
     if (background_only) {
       // A backgrounded write must not collide with queued reads (Section-4
       // SAG/CD constraint) nor park itself in a SAG the read stream is
@@ -240,9 +248,10 @@ bool Controller::try_issue_write(Cycle now, bool background_only) {
     if (bank.earliest_column(w.addr, OpType::kWrite, now) > now) continue;
     const Cycle data_start = now + timing_.tCWD;
     if (!bus_.available(data_start)) {
-      stats_.inc("bus.column_conflicts");
+      w.bus_blocked = true;  // counted once at issue; see read column path
       continue;
     }
+    if (w.bus_blocked) stats_.inc("bus.column_conflicts");
     const Cycle done = bank.issue_column(w.addr, OpType::kWrite, now);
     write_done_times_.push_back(done);
     bus_.reserve(data_start, timing_.tBURST);
@@ -330,16 +339,134 @@ std::vector<mem::MemRequest> Controller::take_completed() {
   return out;
 }
 
+void Controller::drain_completed(std::vector<mem::MemRequest>& out) {
+  out.insert(out.end(), completed_.begin(), completed_.end());
+  completed_.clear();
+}
+
 bool Controller::idle() const {
   return reads_.empty() && writes_.empty() && inflight_reads_.empty() &&
          completed_.empty();
 }
 
 Cycle Controller::next_event(Cycle now) const {
-  if (!reads_.empty() || !writes_.empty()) return now + 1;
+  // Contract (see DESIGN.md): the returned cycle must never overshoot the
+  // first cycle > now at which tick() would change any state or stat. It may
+  // undershoot (an early wake-up is a harmless no-op tick). Every clause
+  // below mirrors one enabling condition of tick()/try_issue(); a condition
+  // that can only flip through an enqueue or through another event (e.g. a
+  // read leaving the queue clears a write conflict) needs no clause of its
+  // own, because the driver re-evaluates after every enqueue and every wake.
+  if (!completed_.empty()) return now + 1;
+
   Cycle next = kNeverCycle;
-  for (const InFlight& fl : inflight_reads_) next = std::min(next, fl.done);
-  if (!completed_.empty()) next = std::min(next, now + 1);
+  const Cycle t0 = now + 1;
+  const auto consider = [&](Cycle c) {
+    next = std::min(next, std::max(c, t0));
+  };
+
+  for (const InFlight& fl : inflight_reads_) {
+    consider(fl.done);
+    if (next == t0) return t0;  // no earlier actionable cycle exists
+  }
+
+  // Queued reads, column path. The first time a bank-ready read meets a busy
+  // bus, tick() sets its sticky bus_blocked flag — a state change, so the
+  // candidate of an unflagged read must NOT fold in bus availability (the
+  // wake at bank-ready is where the flag gets set). Once flagged, nothing
+  // changes until a lane frees up, so the candidate is the conjunction of
+  // bank and bus readiness.
+  const Cycle bus_read_ready =
+      bus_.earliest_start(t0 + timing_.tCAS) - timing_.tCAS;
+  for (const PendingRead& r : reads_) {
+    const nvm::Bank& bank = bank_of(r.req.addr);
+    if (bank.segments_sensed(r.req.addr)) {
+      Cycle c = bank.earliest_column(r.req.addr, OpType::kRead, t0);
+      if (r.req.bus_blocked) c = std::max(c, bus_read_ready);
+      consider(c);
+      if (next == t0) return t0;
+    }
+    if (cfg_.policy == SchedulerPolicy::kFcfs) break;  // head-of-queue only
+  }
+
+  // Queued reads, activate path: same oldest-per-(bank,SAG) walk and
+  // demand-aggregation as try_issue_read_activate.
+  begin_group_scan();
+  for (const PendingRead& r : reads_) {
+    const mem::DecodedAddr& a = r.req.addr;
+    if (!first_in_group(sag_group(a))) continue;
+    const nvm::Bank& bank = bank_of(a);
+    if (bank.segments_sensed(a)) continue;
+    std::uint64_t extra_cds = 0;
+    if (cfg_.policy == SchedulerPolicy::kFrfcfsAugmented) {
+      for (const PendingRead& other : reads_) {
+        const mem::DecodedAddr& o = other.req.addr;
+        if (o.same_row(a)) {
+          for (std::uint64_t i = 0; i < o.cd_count; ++i) {
+            extra_cds |= 1ULL << (o.cd + i);
+          }
+        }
+      }
+    }
+    consider(bank.earliest_activate(a, nvm::ActPurpose::kRead, t0, extra_cds));
+    if (next == t0) return t0;
+    if (cfg_.policy == SchedulerPolicy::kFcfs) break;  // blocks the queue
+  }
+
+  if (!writes_.empty()) {
+    const bool draining = writes_.draining();
+    const bool idle_path = !draining && reads_.empty() && inflight_reads_.empty();
+    // Low-occupancy idle drains additionally wait for the read stream to
+    // have been quiet for drain_idle_timeout.
+    Cycle idle_gate = 0;
+    if (idle_path && writes_.size() < cfg_.wq_low) {
+      idle_gate = last_read_activity_ + cfg_.drain_idle_timeout;
+    }
+    const bool bg_path = !draining &&
+                         cfg_.policy == SchedulerPolicy::kFrfcfsAugmented &&
+                         writes_.size() >= cfg_.bg_write_min;
+    // Backgrounded writes stall at the in-flight cap until a program pulse
+    // finishes; expired entries are erased lazily by tick() and count as
+    // free slots already.
+    Cycle bg_gate = 0;
+    if (bg_path) {
+      std::uint64_t live = 0;
+      Cycle earliest_done = kNeverCycle;
+      for (Cycle d : write_done_times_) {
+        if (d > now) {
+          ++live;
+          earliest_done = std::min(earliest_done, d);
+        }
+      }
+      if (live >= cfg_.bg_write_inflight_max) bg_gate = earliest_done;
+    }
+    if (draining || idle_path || bg_path) {
+      const Cycle bus_write_ready =
+          bus_.earliest_start(t0 + timing_.tCWD) - timing_.tCWD;
+      begin_group_scan();
+      for (const mem::MemRequest& w : writes_.entries()) {
+        const bool oldest_in_group = first_in_group(sag_group(w.addr));
+        const nvm::Bank& bank = bank_of(w.addr);
+        Cycle c;
+        if (bank.row_open(w.addr)) {
+          c = bank.earliest_column(w.addr, OpType::kWrite, t0);
+          // Same sticky-flag rule as the read column path.
+          if (w.bus_blocked) c = std::max(c, bus_write_ready);
+        } else if (oldest_in_group) {
+          c = bank.earliest_activate(w.addr, nvm::ActPurpose::kWrite, t0);
+        } else {
+          continue;  // only the oldest write per SAG may re-activate
+        }
+        if (draining || idle_path) consider(std::max(c, idle_gate));
+        if (bg_path && !write_conflicts_with_reads(w.addr)) {
+          const Cycle guard =
+              sag_last_read_[sag_group(w.addr)] + cfg_.bg_write_guard;
+          consider(std::max({c, bg_gate, guard}));
+        }
+        if (next == t0) return t0;
+      }
+    }
+  }
   return next;
 }
 

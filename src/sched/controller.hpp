@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -89,8 +88,14 @@ class Controller {
   /// takes ownership (the list is cleared by this call).
   std::vector<mem::MemRequest> take_completed();
 
-  /// Earliest future cycle at which tick() could possibly do work, given no
-  /// new arrivals; kNeverCycle when fully idle. Used for fast-forwarding.
+  /// Allocation-free variant: appends the completed reads to `out` and
+  /// clears the internal list. Hot-path API for the simulation loops.
+  void drain_completed(std::vector<mem::MemRequest>& out);
+
+  /// Earliest cycle > now at which tick() could change any state or stat,
+  /// given no new arrivals; kNeverCycle when fully idle. May undershoot
+  /// (waking early is a no-op) but never overshoots — the event-skipping
+  /// runner loops rely on this to stay bit-identical with cycle stepping.
   Cycle next_event(Cycle now) const;
 
   bool idle() const;
@@ -114,6 +119,16 @@ class Controller {
   const nvm::Bank& bank_of(const mem::DecodedAddr& a) const;
   std::uint64_t sag_group(const mem::DecodedAddr& a) const;
 
+  /// Allocation-free oldest-per-(bank,SAG) tracking for the queue walks:
+  /// begin_group_scan() opens a fresh scan, first_in_group(g) is true exactly
+  /// once per group per scan. Epoch-stamped so no clearing is ever needed.
+  void begin_group_scan() const { ++group_scan_; }
+  bool first_in_group(std::uint64_t g) const {
+    if (group_stamp_[g] == group_scan_) return false;
+    group_stamp_[g] = group_scan_;
+    return true;
+  }
+
   /// One issue slot; returns true if a command was issued. `write_done`
   /// tracks whether a write command already issued this cycle — a 150 ns+
   /// program operation never needs more than one issue slot per cycle, and
@@ -133,13 +148,15 @@ class Controller {
 
   std::vector<std::unique_ptr<nvm::Bank>> banks_;
   mem::DataBus bus_;
-  std::deque<PendingRead> reads_;  // FIFO arrival order
+  std::vector<PendingRead> reads_;  // FIFO arrival order
   WriteQueue writes_;
   std::vector<InFlight> inflight_reads_;   // column issued, burst pending
   std::vector<mem::MemRequest> completed_;
   Cycle last_read_activity_ = 0;  // last read enqueue/issue (drain gating)
   std::vector<Cycle> sag_last_read_;  // per (bank, SAG): last read touch
   std::vector<Cycle> write_done_times_;  // in-flight write completions
+  mutable std::vector<std::uint64_t> group_stamp_;  // see first_in_group
+  mutable std::uint64_t group_scan_ = 0;
 
   StatSet stats_;
 };

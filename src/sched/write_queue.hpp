@@ -44,6 +44,11 @@ class WriteQueue {
   /// Access to pending writes in FIFO order.
   const std::deque<mem::MemRequest>& entries() const { return entries_; }
 
+  /// Mutable access for the controller's per-request scheduling bookkeeping
+  /// (e.g. the bus_blocked flag); queue membership must not be changed
+  /// through this reference — use add()/remove().
+  std::deque<mem::MemRequest>& entries_mut() { return entries_; }
+
   /// Removes the entry with the given request id (after issue).
   void remove(RequestId id);
 

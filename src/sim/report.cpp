@@ -45,7 +45,12 @@ class JsonWriter {
 
  private:
   static std::string format(const std::string& v) {
-    return "\"" + json_escape(v) + "\"";
+    // Built up with += (not nested operator+): GCC 12's -Wrestrict flags
+    // the temporary chain with a false positive (PR105651).
+    std::string out = "\"";
+    out += json_escape(v);
+    out += '"';
+    return out;
   }
   static std::string format(const char* v) { return format(std::string(v)); }
   static std::string format(double v) {

@@ -1,7 +1,10 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 namespace fgnvm::sim {
@@ -32,14 +35,98 @@ RunResult finalize(const std::string& workload, sys::MemorySystem& mem,
   return r;
 }
 
-}  // namespace
+bool paranoid_mode() {
+  const char* env = std::getenv("FGNVM_PARANOID");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
 
-RunResult run_workload(const trace::Trace& trace,
-                       const sys::SystemConfig& sys_cfg,
-                       const cpu::CpuParams& cpu_params,
-                       Cycle max_mem_cycles) {
+bool event_skip(LoopMode mode) {
+  return mode != LoopMode::kCycleAccurate;
+}
+
+[[noreturn]] void throw_mismatch(const std::string& what,
+                                 const std::string& diff) {
+  throw std::runtime_error("FGNVM_PARANOID: event-skip run of " + what +
+                           " diverged from the cycle-accurate loop: " + diff);
+}
+
+// ------------------------------------------------------------ diff helpers
+
+class Differ {
+ public:
+  bool num(const char* name, double a, double b) {
+    // Bit-level comparison: the two loops must execute the identical
+    // floating-point operations in the identical order.
+    if (a == b || (std::isnan(a) && std::isnan(b))) return false;
+    record(name, a, b);
+    return true;
+  }
+  bool num(const char* name, std::uint64_t a, std::uint64_t b) {
+    if (a == b) return false;
+    record(name, a, b);
+    return true;
+  }
+
+  void stats(const StatSet& a, const StatSet& b) {
+    if (!diff_.empty()) return;
+    if (a.counters().size() != b.counters().size() ||
+        a.distributions().size() != b.distributions().size() ||
+        a.histograms().size() != b.histograms().size()) {
+      diff_ = "controller stat-set shape differs";
+      return;
+    }
+    for (const auto& [name, value] : a.counters()) {
+      if (num(name.c_str(), value, b.counter(name))) return;
+    }
+    for (const auto& [name, d] : a.distributions()) {
+      const Distribution& e = b.distribution(name);
+      if (num((name + ".count").c_str(), d.count(), e.count()) ||
+          num((name + ".sum").c_str(), d.sum(), e.sum()) ||
+          num((name + ".min").c_str(), d.min(), e.min()) ||
+          num((name + ".max").c_str(), d.max(), e.max()) ||
+          num((name + ".var").c_str(), d.variance(), e.variance())) {
+        return;
+      }
+    }
+    for (const auto& [name, h] : a.histograms()) {
+      const Histogram& g = b.histogram(name);
+      if (num((name + ".total").c_str(), h.total(), g.total()) ||
+          num((name + ".overflow").c_str(), h.overflow(), g.overflow())) {
+        return;
+      }
+      for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+        if (num((name + ".bucket" + std::to_string(i)).c_str(), h.bucket(i),
+                g.bucket(i))) {
+          return;
+        }
+      }
+    }
+  }
+
+  const std::string& diff() const { return diff_; }
+
+ private:
+  template <typename T>
+  void record(const char* name, T a, T b) {
+    if (!diff_.empty()) return;
+    std::ostringstream os;
+    os << name << ": " << a << " vs " << b;
+    diff_ = os.str();
+  }
+
+  std::string diff_;
+};
+
+// ------------------------------------------------------------ loop bodies
+
+RunResult run_workload_loop(const trace::Trace& trace,
+                            const sys::SystemConfig& sys_cfg,
+                            const cpu::CpuParams& cpu_params,
+                            Cycle max_mem_cycles, bool skip) {
   sys::MemorySystem mem(sys_cfg);
   cpu::RobCpu core(trace, cpu_params, mem);
+  std::vector<mem::MemRequest> done;
 
   Cycle t = 0;
   while (!core.finished() || !mem.idle()) {
@@ -47,10 +134,20 @@ RunResult run_workload(const trace::Trace& trace,
       throw std::runtime_error("run_workload: exceeded max_mem_cycles on " +
                                trace.name + " / " + sys_cfg.name);
     }
-    core.complete(mem.take_completed());
+    mem.drain_completed(done);
+    core.complete(done);
     core.tick_mem_cycle(t);
     mem.tick(t);
-    ++t;
+    Cycle next = t + 1;
+    if (skip &&
+        (core.finished() || core.stalled_until(next) == kNeverCycle)) {
+      const Cycle event = mem.next_event(t);
+      if (event > next && event != kNeverCycle) {
+        next = std::min(event, max_mem_cycles);
+        if (!core.finished()) core.advance_stalled(next - (t + 1));
+      }
+    }
+    t = next;
   }
 
   RunResult r = finalize(trace.name, mem, t);
@@ -59,6 +156,186 @@ RunResult run_workload(const trace::Trace& trace,
   r.ipc = core.ipc();
   r.fetch_stall_cycles = core.fetch_stall_cycles();
   r.backpressure_stalls = core.mem_backpressure_stalls();
+  return r;
+}
+
+MultiProgramResult run_multiprogrammed_loop(
+    const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
+    const cpu::CpuParams& cpu_params, Cycle max_mem_cycles, bool skip) {
+  sys::MemorySystem mem(sys_cfg);
+  std::vector<std::unique_ptr<cpu::RobCpu>> cores;
+  cores.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    cores.push_back(
+        std::make_unique<cpu::RobCpu>(traces[i], cpu_params, mem, i));
+  }
+
+  const auto all_finished = [&]() {
+    return std::all_of(cores.begin(), cores.end(),
+                       [](const auto& c) { return c->finished(); });
+  };
+  std::vector<mem::MemRequest> done;
+
+  Cycle t = 0;
+  while (!all_finished() || !mem.idle()) {
+    if (t >= max_mem_cycles) {
+      throw std::runtime_error("run_multiprogrammed: exceeded max_mem_cycles");
+    }
+    mem.drain_completed(done);
+    for (auto& core : cores) {
+      core->complete(done);
+      core->tick_mem_cycle(t);
+    }
+    mem.tick(t);
+    Cycle next = t + 1;
+    if (skip) {
+      const bool all_blocked = std::all_of(
+          cores.begin(), cores.end(), [&](const auto& c) {
+            return c->finished() || c->stalled_until(next) == kNeverCycle;
+          });
+      if (all_blocked) {
+        const Cycle event = mem.next_event(t);
+        if (event > next && event != kNeverCycle) {
+          next = std::min(event, max_mem_cycles);
+          for (auto& core : cores) {
+            if (!core->finished()) core->advance_stalled(next - (t + 1));
+          }
+        }
+      }
+    }
+    t = next;
+  }
+
+  MultiProgramResult r;
+  r.mem_cycles = t;
+  r.energy = mem.energy(t);
+  r.controller = mem.controller_stats();
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    r.workloads.push_back(traces[i].name);
+    r.ipc.push_back(cores[i]->ipc());
+    r.cpu_cycles.push_back(cores[i]->cpu_cycles());
+  }
+  return r;
+}
+
+RunResult run_memory_only_loop(const trace::Trace& trace,
+                               const sys::SystemConfig& sys_cfg,
+                               Cycle max_mem_cycles, bool skip) {
+  sys::MemorySystem mem(sys_cfg);
+  std::size_t next_rec = 0;
+  std::vector<mem::MemRequest> done;
+
+  Cycle t = 0;
+  while (next_rec < trace.records.size() || !mem.idle()) {
+    if (t >= max_mem_cycles) {
+      throw std::runtime_error("run_memory_only: exceeded max_mem_cycles on " +
+                               trace.name + " / " + sys_cfg.name);
+    }
+    mem.drain_completed(done);
+    while (next_rec < trace.records.size() &&
+           mem.can_accept(trace.records[next_rec].addr,
+                          trace.records[next_rec].op)) {
+      mem.submit(trace.records[next_rec].addr, trace.records[next_rec].op, t);
+      ++next_rec;
+    }
+    mem.tick(t);
+    Cycle next = t + 1;
+    if (skip) {
+      const bool blocked =
+          next_rec >= trace.records.size() ||
+          !mem.can_accept(trace.records[next_rec].addr,
+                          trace.records[next_rec].op);
+      if (blocked) {
+        const Cycle event = mem.next_event(t);
+        if (event > next && event != kNeverCycle) {
+          next = std::min(event, max_mem_cycles);
+        }
+      }
+    }
+    t = next;
+  }
+  return finalize(trace.name, mem, t);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ diffs
+
+std::string diff_results(const RunResult& a, const RunResult& b) {
+  Differ d;
+  if (d.num("instructions", a.instructions, b.instructions) ||
+      d.num("cpu_cycles", a.cpu_cycles, b.cpu_cycles) ||
+      d.num("mem_cycles", a.mem_cycles, b.mem_cycles) ||
+      d.num("reads", a.reads, b.reads) ||
+      d.num("writes", a.writes, b.writes) || d.num("ipc", a.ipc, b.ipc) ||
+      d.num("avg_read_latency", a.avg_read_latency, b.avg_read_latency) ||
+      d.num("p50_read_latency", a.p50_read_latency, b.p50_read_latency) ||
+      d.num("p95_read_latency", a.p95_read_latency, b.p95_read_latency) ||
+      d.num("p99_read_latency", a.p99_read_latency, b.p99_read_latency) ||
+      d.num("fetch_stall_cycles", a.fetch_stall_cycles,
+            b.fetch_stall_cycles) ||
+      d.num("backpressure_stalls", a.backpressure_stalls,
+            b.backpressure_stalls) ||
+      d.num("energy.sense_pj", a.energy.sense_pj, b.energy.sense_pj) ||
+      d.num("energy.write_pj", a.energy.write_pj, b.energy.write_pj) ||
+      d.num("energy.background_pj", a.energy.background_pj,
+            b.energy.background_pj) ||
+      d.num("banks.acts_for_read", a.banks.acts_for_read,
+            b.banks.acts_for_read) ||
+      d.num("banks.acts_for_write", a.banks.acts_for_write,
+            b.banks.acts_for_write) ||
+      d.num("banks.underfetch_acts", a.banks.underfetch_acts,
+            b.banks.underfetch_acts) ||
+      d.num("banks.reads", a.banks.reads, b.banks.reads) ||
+      d.num("banks.writes", a.banks.writes, b.banks.writes) ||
+      d.num("banks.bits_sensed", a.banks.bits_sensed, b.banks.bits_sensed) ||
+      d.num("banks.bits_written", a.banks.bits_written,
+            b.banks.bits_written)) {
+    return d.diff();
+  }
+  d.stats(a.controller, b.controller);
+  return d.diff();
+}
+
+std::string diff_results(const MultiProgramResult& a,
+                         const MultiProgramResult& b) {
+  if (a.workloads != b.workloads) return "workload lists differ";
+  Differ d;
+  if (d.num("mem_cycles", a.mem_cycles, b.mem_cycles) ||
+      d.num("energy.sense_pj", a.energy.sense_pj, b.energy.sense_pj) ||
+      d.num("energy.write_pj", a.energy.write_pj, b.energy.write_pj) ||
+      d.num("energy.background_pj", a.energy.background_pj,
+            b.energy.background_pj)) {
+    return d.diff();
+  }
+  for (std::size_t i = 0; i < a.ipc.size(); ++i) {
+    if (d.num(("ipc[" + std::to_string(i) + "]").c_str(), a.ipc[i],
+              b.ipc[i]) ||
+        d.num(("cpu_cycles[" + std::to_string(i) + "]").c_str(),
+              a.cpu_cycles[i], b.cpu_cycles[i])) {
+      return d.diff();
+    }
+  }
+  d.stats(a.controller, b.controller);
+  return d.diff();
+}
+
+// ------------------------------------------------------------ entry points
+
+RunResult run_workload(const trace::Trace& trace,
+                       const sys::SystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
+                       LoopMode mode) {
+  RunResult r = run_workload_loop(trace, sys_cfg, cpu_params, max_mem_cycles,
+                                  event_skip(mode));
+  if (mode == LoopMode::kAuto && paranoid_mode()) {
+    const RunResult ref = run_workload_loop(trace, sys_cfg, cpu_params,
+                                            max_mem_cycles, /*skip=*/false);
+    const std::string diff = diff_results(ref, r);
+    if (!diff.empty()) {
+      throw_mismatch(trace.name + " / " + sys_cfg.name, diff);
+    }
+  }
   return r;
 }
 
@@ -77,71 +354,38 @@ double MultiProgramResult::weighted_speedup(
 MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
                                        const sys::SystemConfig& sys_cfg,
                                        const cpu::CpuParams& cpu_params,
-                                       Cycle max_mem_cycles) {
+                                       Cycle max_mem_cycles, LoopMode mode) {
   if (traces.empty()) {
     throw std::invalid_argument("run_multiprogrammed: no traces");
   }
-  sys::MemorySystem mem(sys_cfg);
-  std::vector<std::unique_ptr<cpu::RobCpu>> cores;
-  cores.reserve(traces.size());
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    cores.push_back(
-        std::make_unique<cpu::RobCpu>(traces[i], cpu_params, mem, i));
-  }
-
-  const auto all_finished = [&]() {
-    return std::all_of(cores.begin(), cores.end(),
-                       [](const auto& c) { return c->finished(); });
-  };
-
-  Cycle t = 0;
-  while (!all_finished() || !mem.idle()) {
-    if (t >= max_mem_cycles) {
-      throw std::runtime_error("run_multiprogrammed: exceeded max_mem_cycles");
+  MultiProgramResult r = run_multiprogrammed_loop(
+      traces, sys_cfg, cpu_params, max_mem_cycles, event_skip(mode));
+  if (mode == LoopMode::kAuto && paranoid_mode()) {
+    const MultiProgramResult ref = run_multiprogrammed_loop(
+        traces, sys_cfg, cpu_params, max_mem_cycles, /*skip=*/false);
+    const std::string diff = diff_results(ref, r);
+    if (!diff.empty()) {
+      throw_mismatch("multiprogram / " + sys_cfg.name, diff);
     }
-    const auto done = mem.take_completed();
-    for (auto& core : cores) {
-      core->complete(done);
-      core->tick_mem_cycle(t);
-    }
-    mem.tick(t);
-    ++t;
-  }
-
-  MultiProgramResult r;
-  r.mem_cycles = t;
-  r.energy = mem.energy(t);
-  r.controller = mem.controller_stats();
-  for (std::size_t i = 0; i < cores.size(); ++i) {
-    r.workloads.push_back(traces[i].name);
-    r.ipc.push_back(cores[i]->ipc());
-    r.cpu_cycles.push_back(cores[i]->cpu_cycles());
   }
   return r;
 }
 
 RunResult run_memory_only(const trace::Trace& trace,
                           const sys::SystemConfig& sys_cfg,
-                          Cycle max_mem_cycles) {
-  sys::MemorySystem mem(sys_cfg);
-  std::size_t next = 0;
-
-  Cycle t = 0;
-  while (next < trace.records.size() || !mem.idle()) {
-    if (t >= max_mem_cycles) {
-      throw std::runtime_error("run_memory_only: exceeded max_mem_cycles on " +
-                               trace.name + " / " + sys_cfg.name);
+                          Cycle max_mem_cycles, LoopMode mode) {
+  RunResult r =
+      run_memory_only_loop(trace, sys_cfg, max_mem_cycles, event_skip(mode));
+  if (mode == LoopMode::kAuto && paranoid_mode()) {
+    const RunResult ref = run_memory_only_loop(trace, sys_cfg, max_mem_cycles,
+                                               /*skip=*/false);
+    const std::string diff = diff_results(ref, r);
+    if (!diff.empty()) {
+      throw_mismatch(trace.name + " / " + sys_cfg.name + " (memory-only)",
+                     diff);
     }
-    (void)mem.take_completed();
-    while (next < trace.records.size() &&
-           mem.can_accept(trace.records[next].addr, trace.records[next].op)) {
-      mem.submit(trace.records[next].addr, trace.records[next].op, t);
-      ++next;
-    }
-    mem.tick(t);
-    ++t;
   }
-  return finalize(trace.name, mem, t);
+  return r;
 }
 
 }  // namespace fgnvm::sim

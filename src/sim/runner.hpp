@@ -14,6 +14,18 @@
 
 namespace fgnvm::sim {
 
+/// How the simulation loops advance time.
+///  * kCycleAccurate — tick every memory cycle (the reference semantics).
+///  * kEventSkip     — jump from event to event via MemorySystem::next_event
+///                     and RobCpu::stalled_until; produces bit-identical
+///                     results by construction (next_event never overshoots
+///                     an actionable cycle).
+///  * kAuto          — kEventSkip, unless the FGNVM_PARANOID environment
+///                     variable is set non-empty (and not "0"), in which
+///                     case every run executes BOTH loops and throws
+///                     std::runtime_error on any stat difference.
+enum class LoopMode : std::uint8_t { kAuto, kCycleAccurate, kEventSkip };
+
 struct RunResult {
   std::string workload;
   std::string config;
@@ -42,14 +54,23 @@ struct RunResult {
 /// (deadlock guard).
 RunResult run_workload(const trace::Trace& trace, const sys::SystemConfig& sys_cfg,
                        const cpu::CpuParams& cpu_params = {},
-                       Cycle max_mem_cycles = 500'000'000);
+                       Cycle max_mem_cycles = 500'000'000,
+                       LoopMode mode = LoopMode::kAuto);
 
 /// Memory-only closed-loop run: submits the trace as fast as backpressure
 /// allows. Measures achievable bandwidth and service latency without a core
 /// model. `instructions` and `ipc` are zero in the result.
 RunResult run_memory_only(const trace::Trace& trace,
                           const sys::SystemConfig& sys_cfg,
-                          Cycle max_mem_cycles = 500'000'000);
+                          Cycle max_mem_cycles = 500'000'000,
+                          LoopMode mode = LoopMode::kAuto);
+
+/// Describes the first difference between two runs of the same experiment,
+/// or returns the empty string when every stat matches exactly: cycle
+/// counts, IPC, latencies (including distribution moments and histogram
+/// buckets), energy, bank activity, and all controller counters. Used by
+/// the FGNVM_PARANOID cross-check and the equivalence tests.
+std::string diff_results(const RunResult& a, const RunResult& b);
 
 /// Result of a multi-programmed run: several cores, one memory system.
 struct MultiProgramResult {
@@ -70,6 +91,10 @@ struct MultiProgramResult {
 MultiProgramResult run_multiprogrammed(
     const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
     const cpu::CpuParams& cpu_params = {},
-    Cycle max_mem_cycles = 500'000'000);
+    Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
+
+/// diff_results for multi-programmed runs.
+std::string diff_results(const MultiProgramResult& a,
+                         const MultiProgramResult& b);
 
 }  // namespace fgnvm::sim

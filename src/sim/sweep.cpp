@@ -1,0 +1,85 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fgnvm::sim {
+
+unsigned sweep_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FGNVM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads) {
+  const unsigned n = sweep_thread_count(threads);
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SweepRunner::run_items(std::unique_lock<std::mutex>& lock) {
+  while (next_index_ < job_size_) {
+    const std::size_t i = next_index_++;
+    ++in_flight_;
+    lock.unlock();
+    try {
+      (*job_)(i);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      next_index_ = job_size_;  // abandon undispatched items
+    }
+    if (--in_flight_ == 0 && next_index_ >= job_size_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || next_index_ < job_size_; });
+    if (stop_) return;
+    run_items(lock);
+  }
+}
+
+void SweepRunner::for_each(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  run_items(lock);  // the calling thread is a full pool member
+  done_cv_.wait(lock,
+                [this] { return next_index_ >= job_size_ && in_flight_ == 0; });
+  job_size_ = 0;
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace fgnvm::sim

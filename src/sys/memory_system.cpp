@@ -73,11 +73,13 @@ void MemorySystem::tick(Cycle now) {
 
 std::vector<mem::MemRequest> MemorySystem::take_completed() {
   std::vector<mem::MemRequest> all;
-  for (auto& ch : channels_) {
-    auto done = ch->take_completed();
-    all.insert(all.end(), done.begin(), done.end());
-  }
+  drain_completed(all);
   return all;
+}
+
+void MemorySystem::drain_completed(std::vector<mem::MemRequest>& out) {
+  out.clear();
+  for (auto& ch : channels_) ch->drain_completed(out);
 }
 
 Cycle MemorySystem::next_event(Cycle now) const {

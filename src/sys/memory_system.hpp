@@ -60,7 +60,13 @@ class MemorySystem {
   /// Completed read requests (and forwarded reads) since the last call.
   std::vector<mem::MemRequest> take_completed();
 
-  /// Earliest cycle any channel could do work absent new arrivals.
+  /// Allocation-free variant: clears `out`, then fills it with the completed
+  /// requests since the last call. The simulation loops reuse one buffer.
+  void drain_completed(std::vector<mem::MemRequest>& out);
+
+  /// Earliest cycle > now at which any channel's tick() could change state,
+  /// absent new arrivals; kNeverCycle when fully idle. Never overshoots an
+  /// actionable cycle (see Controller::next_event).
   Cycle next_event(Cycle now) const;
 
   bool idle() const;

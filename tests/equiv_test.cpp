@@ -1,0 +1,103 @@
+// Event-skip vs cycle-accurate equivalence (tier 1).
+//
+// The event-driven loops promise bit-identical results to the reference
+// cycle-by-cycle loops (DESIGN.md: next_event never overshoots). These
+// tests enforce the promise for every shipped preset configuration across
+// two contrasting workloads, for all three run entry points, using
+// diff_results — which compares every stat down to distribution moments
+// and histogram buckets with exact floating-point equality.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+using namespace fgnvm;
+
+struct NamedConfig {
+  std::string name;
+  sys::SystemConfig cfg;
+};
+
+std::vector<NamedConfig> preset_configs() {
+  return {
+      {"baseline", sys::baseline_config()},
+      {"fgnvm_4x4", sys::fgnvm_config(4, 4)},
+      {"fgnvm_4x4_multi_issue", sys::fgnvm_config(4, 4, true)},
+      {"fgnvm_8x8", sys::fgnvm_config(8, 8)},
+      {"many_banks_4x4", sys::many_banks_config(4, 4)},
+      {"perfect", sys::perfect_config()},
+      {"dram", sys::dram_config()},
+      {"dram_salp8", sys::dram_config(8)},
+  };
+}
+
+// milc is read-heavy with high MPKI; omnetpp mixes a large write share —
+// together they exercise the read path, drains, and backgrounded writes.
+std::vector<trace::Trace> workloads() {
+  return {
+      trace::generate_trace(trace::spec2006_profile("milc"), 1500),
+      trace::generate_trace(trace::spec2006_profile("omnetpp"), 1500),
+  };
+}
+
+class EquivTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  sys::SystemConfig config() const {
+    for (const NamedConfig& nc : preset_configs()) {
+      if (nc.name == GetParam()) return nc.cfg;
+    }
+    throw std::runtime_error("unknown preset: " + GetParam());
+  }
+};
+
+TEST_P(EquivTest, RunWorkloadBitIdentical) {
+  const sys::SystemConfig cfg = config();
+  for (const trace::Trace& tr : workloads()) {
+    const sim::RunResult cyc =
+        sim::run_workload(tr, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
+    const sim::RunResult evt =
+        sim::run_workload(tr, cfg, {}, 500'000'000, sim::LoopMode::kEventSkip);
+    EXPECT_EQ(sim::diff_results(cyc, evt), "") << tr.name;
+  }
+}
+
+TEST_P(EquivTest, RunMemoryOnlyBitIdentical) {
+  const sys::SystemConfig cfg = config();
+  for (const trace::Trace& tr : workloads()) {
+    const sim::RunResult cyc =
+        sim::run_memory_only(tr, cfg, 500'000'000, sim::LoopMode::kCycleAccurate);
+    const sim::RunResult evt =
+        sim::run_memory_only(tr, cfg, 500'000'000, sim::LoopMode::kEventSkip);
+    EXPECT_EQ(sim::diff_results(cyc, evt), "") << tr.name;
+  }
+}
+
+TEST_P(EquivTest, RunMultiprogrammedBitIdentical) {
+  const sys::SystemConfig cfg = config();
+  const std::vector<trace::Trace> traces = workloads();
+  const sim::MultiProgramResult cyc = sim::run_multiprogrammed(
+      traces, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
+  const sim::MultiProgramResult evt = sim::run_multiprogrammed(
+      traces, cfg, {}, 500'000'000, sim::LoopMode::kEventSkip);
+  EXPECT_EQ(sim::diff_results(cyc, evt), "");
+}
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const NamedConfig& nc : preset_configs()) names.push_back(nc.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, EquivTest,
+                         ::testing::ValuesIn(preset_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
