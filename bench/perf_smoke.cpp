@@ -39,7 +39,13 @@ int main(int argc, char** argv) {
   const auto t0 = clock::now();
   for (int i = 0; i < runs; ++i) {
     const sim::RunResult r = sim::run_workload(tr, cfg);
-    if (r.reads + r.writes == 0) return 1;  // defeats dead-code elimination
+    // Also defeats dead-code elimination of the timed runs.
+    if (r.reads + r.writes == 0 || r.instructions == 0) {
+      std::cerr << "perf_smoke: run " << i << " retired " << r.instructions
+                << " instructions / " << (r.reads + r.writes)
+                << " memory ops — refusing to report throughput\n";
+      return 1;
+    }
   }
   const double run_secs =
       std::chrono::duration<double>(clock::now() - t0).count();
@@ -55,8 +61,16 @@ int main(int argc, char** argv) {
       pool, traces, sys::baseline_config(), {cfg});
   const double sweep_secs =
       std::chrono::duration<double>(clock::now() - t1).count();
+  if (runs_out.empty()) {
+    std::cerr << "perf_smoke: sweep produced no runs\n";
+    return 1;
+  }
 
   std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "perf_smoke: cannot open " << out_path << "\n";
+    return 1;
+  }
   json << "{\n"
        << "  \"benchmark\": \"sim_throughput\",\n"
        << "  \"ops_per_run\": " << ops << ",\n"

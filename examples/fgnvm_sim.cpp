@@ -7,6 +7,7 @@
 //   fgnvm_sim --config configs/fgnvm_4x4.cfg --workload lbm --ops 50000
 //   fgnvm_sim --config configs/baseline.cfg --trace mcf.trace --json out.json
 //   fgnvm_sim --config configs/dram_salp8.cfg --workload milc --memory-only
+//   fgnvm_sim --config configs/fgnvm_4x4.cfg --workload milc --obs out/milc
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -27,6 +28,7 @@ struct Options {
   std::optional<std::string> workload;
   std::uint64_t ops = 20000;
   std::optional<std::string> json_path;
+  std::optional<std::string> obs_prefix;
   bool memory_only = false;
 };
 
@@ -35,6 +37,10 @@ int usage() {
       << "usage: fgnvm_sim --config <file> (--trace <file> | --workload "
          "<name>)\n"
          "                 [--ops N] [--json <file>] [--memory-only]\n"
+         "                 [--obs <prefix>]   enable request tracing; writes\n"
+         "                                    <prefix>.json, "
+         "<prefix>.timeseries.csv,\n"
+         "                                    <prefix>.requests.csv\n"
          "Named workloads: ";
   for (const auto& p : fgnvm::trace::spec2006_profiles()) {
     std::cerr << p.name << " ";
@@ -65,6 +71,9 @@ std::optional<Options> parse(int argc, char** argv) {
       o.ops = std::stoull(*v);
     } else if (arg == "--json") {
       o.json_path = next();
+    } else if (arg == "--obs") {
+      o.obs_prefix = next();
+      if (!o.obs_prefix) return std::nullopt;
     } else if (arg == "--memory-only") {
       o.memory_only = true;
     } else {
@@ -87,7 +96,8 @@ int main(int argc, char** argv) {
 
   try {
     const Config raw = Config::from_file(opts->config_path);
-    const sys::SystemConfig cfg = sys::SystemConfig::from_config(raw);
+    sys::SystemConfig cfg = sys::SystemConfig::from_config(raw);
+    if (opts->obs_prefix) cfg.obs.enabled = true;
 
     trace::Trace tr;
     if (opts->trace_path) {
@@ -125,6 +135,23 @@ int main(int argc, char** argv) {
       if (!f) throw std::runtime_error("cannot open " + *opts->json_path);
       f << sim::to_json(r) << "\n";
       std::cout << "\nJSON report written to " << *opts->json_path << "\n";
+    }
+
+    if (opts->obs_prefix) {
+      if (!r.obs) throw std::runtime_error("--obs: no observer in result");
+      const auto write_file = [](const std::string& path,
+                                 const std::string& body) {
+        std::ofstream f(path);
+        if (!f) throw std::runtime_error("cannot open " + path);
+        f << body;
+      };
+      write_file(*opts->obs_prefix + ".json", sim::obs_json(*r.obs) + "\n");
+      write_file(*opts->obs_prefix + ".timeseries.csv",
+                 sim::obs_timeseries_csv(*r.obs));
+      write_file(*opts->obs_prefix + ".requests.csv",
+                 sim::obs_requests_csv(*r.obs));
+      std::cout << "obs reports written to " << *opts->obs_prefix
+                << ".{json,timeseries.csv,requests.csv}\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench/perf_smoke output.
+
+Compares the mem_ops_per_sec of a fresh BENCH_sim_throughput.json against the
+committed baseline and fails (exit 1) when throughput dropped by more than the
+tolerance. Gains beyond the tolerance are reported but never fail the gate;
+run with --update to bless a new baseline after an intentional change.
+
+Usage:
+    perf_gate.py --current BENCH_sim_throughput.json \
+                 [--baseline bench/baselines/sim_throughput.json] \
+                 [--tolerance 0.15] [--update]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
+    "bench" / "baselines" / "sim_throughput.json"
+
+
+def load(path: Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_gate: cannot read {path}: {e}")
+    for key in ("benchmark", "mem_ops_per_sec"):
+        if key not in data:
+            sys.exit(f"perf_gate: {path} is missing '{key}'")
+    if data["mem_ops_per_sec"] <= 0:
+        sys.exit(f"perf_gate: {path} reports non-positive throughput")
+    return data
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, type=Path,
+                    help="JSON written by bench/perf_smoke for this build")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current result")
+    args = ap.parse_args()
+
+    current = load(args.current)
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"perf_gate: baseline updated -> {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    if baseline["benchmark"] != current["benchmark"]:
+        sys.exit("perf_gate: benchmark name mismatch "
+                 f"({baseline['benchmark']} vs {current['benchmark']})")
+
+    base = baseline["mem_ops_per_sec"]
+    cur = current["mem_ops_per_sec"]
+    change = (cur - base) / base
+    floor = base * (1.0 - args.tolerance)
+
+    print(f"perf_gate: mem_ops_per_sec baseline {base:.0f}, "
+          f"current {cur:.0f} ({change:+.1%}, floor {floor:.0f})")
+    for extra in ("sweep_wall_seconds", "sweep_threads"):
+        if extra in baseline and extra in current:
+            print(f"perf_gate: {extra}: baseline {baseline[extra]}, "
+                  f"current {current[extra]} (informational)")
+
+    if cur < floor:
+        print(f"perf_gate: FAIL — throughput regressed more than "
+              f"{args.tolerance:.0%}. If intentional, re-bless with "
+              f"--update.", file=sys.stderr)
+        return 1
+    print("perf_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "mem/geometry.hpp"
 #include "mem/timing.hpp"
+#include "obs/block_cause.hpp"
 
 namespace fgnvm::nvm {
 
@@ -87,6 +88,39 @@ class Bank {
   virtual Cycle busy_until() const = 0;
 
   virtual const BankStats& stats() const = 0;
+
+  // ---- observability (fgnvm::obs) ----------------------------------------
+  // Passive queries; the defaults give a coarse generic attribution so bank
+  // models without 2-D structure (e.g. DRAM) need no override.
+
+  /// Why an activation serving `a` cannot begin at `now` (kNone if it can).
+  virtual obs::BlockCause activate_block_cause(
+      const mem::DecodedAddr& a, ActPurpose p, Cycle now,
+      std::uint64_t extra_cds = 0) const {
+    return earliest_activate(a, p, now, extra_cds) > now
+               ? obs::BlockCause::kSagBusy
+               : obs::BlockCause::kNone;
+  }
+
+  /// Why the column access for `a` cannot issue at `now` (kNone if it can).
+  virtual obs::BlockCause column_block_cause(const mem::DecodedAddr& a,
+                                             OpType op, Cycle now) const {
+    return earliest_column(a, op, now) > now ? obs::BlockCause::kCdBusy
+                                             : obs::BlockCause::kNone;
+  }
+
+  /// Time-series sampling: SAGs holding an in-progress ACT or write at `now`.
+  virtual std::uint64_t active_sags(Cycle now) const {
+    (void)now;
+    return 0;
+  }
+
+  /// Time-series sampling: (SAG, CD) tile groups actively sensing or
+  /// programming at `now` (each busy CD serves exactly one tile group).
+  virtual std::uint64_t active_cds(Cycle now) const {
+    (void)now;
+    return 0;
+  }
 };
 
 }  // namespace fgnvm::nvm

@@ -162,6 +162,7 @@ Cycle FgNvmBank::issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) {
 
   if (modes_.background_writes) {
     s.lock_until = std::max(s.lock_until, done);
+    s.write_until = std::max(s.write_until, done);
     std::uint64_t cds = line_cds(a);
     for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
       if (cds & 1) cd_write_lock_[cd] = std::max(cd_write_lock_[cd], done);
@@ -186,6 +187,85 @@ Cycle FgNvmBank::busy_until() const {
   for (Cycle c : cd_sense_lock_) t = std::max(t, c);
   for (Cycle c : cd_write_lock_) t = std::max(t, c);
   return t;
+}
+
+obs::BlockCause FgNvmBank::activate_block_cause(const mem::DecodedAddr& a,
+                                                ActPurpose p, Cycle now,
+                                                std::uint64_t extra_cds) const {
+  // Mirrors earliest_activate, reporting the *kind* of the binding resource.
+  // Write occupancy is checked first: a program pulse physically holds the
+  // SAG/CD, so it dominates any concurrent sensing lock.
+  const SagState& s = sags_[a.sag];
+  if (bank_lock_ > now) return obs::BlockCause::kWriteBlock;
+  if (s.write_until > now) return obs::BlockCause::kWriteBlock;
+  if (s.lock_until > now) return obs::BlockCause::kSagBusy;
+  if (!modes_.multi_activation && global_act_lock_ > now) {
+    return obs::BlockCause::kSagBusy;
+  }
+  if (p == ActPurpose::kRead) {
+    std::uint64_t cds = needed_cds(a, extra_cds);
+    if (s.open_row == a.row) cds &= ~s.sensed;
+    bool sensing = false;
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if ((cds & 1) == 0) continue;
+      if (cd_write_lock_[cd] > now) return obs::BlockCause::kWriteBlock;
+      if (cd_sense_lock_[cd] > now) sensing = true;
+    }
+    if (sensing) return obs::BlockCause::kCdBusy;
+  }
+  return obs::BlockCause::kNone;
+}
+
+obs::BlockCause FgNvmBank::column_block_cause(const mem::DecodedAddr& a,
+                                              OpType op, Cycle now) const {
+  const SagState& s = sags_[a.sag];
+  if (bank_lock_ > now) return obs::BlockCause::kWriteBlock;
+  if (s.write_until > now) return obs::BlockCause::kWriteBlock;
+  std::uint64_t cds = line_cds(a);
+  if (op == OpType::kRead) {
+    for (std::uint64_t cd = 0, m = cds; m != 0; ++cd, m >>= 1) {
+      if ((m & 1) && cd_write_lock_[cd] > now) {
+        return obs::BlockCause::kWriteBlock;
+      }
+    }
+    // With writes excluded, a pending SAG lock / sense_ready can only be the
+    // request's own row finishing its sensing: one open row per SAG, and
+    // segments_sensed(a) held before the controller entered the column path.
+    if (s.sense_ready > now || s.lock_until > now) {
+      return obs::BlockCause::kService;
+    }
+  } else {
+    if (s.lock_until > now) return obs::BlockCause::kService;  // own write ACT
+    bool sensing = false;
+    for (std::uint64_t cd = 0, m = cds; m != 0; ++cd, m >>= 1) {
+      if ((m & 1) == 0) continue;
+      if (cd_write_lock_[cd] > now) return obs::BlockCause::kWriteBlock;
+      if (cd_sense_lock_[cd] > now) sensing = true;
+    }
+    if (sensing) return obs::BlockCause::kCdBusy;
+  }
+  if (any_col_issued_ && last_col_ + timing_.tCCD > now) {
+    // The per-bank column command path is shared exactly like the data bus;
+    // tCCD serialization is reported as a column conflict.
+    return obs::BlockCause::kBusConflict;
+  }
+  return obs::BlockCause::kNone;
+}
+
+std::uint64_t FgNvmBank::active_sags(Cycle now) const {
+  if (bank_lock_ > now) return sags_.size();  // non-bg write locks the bank
+  std::uint64_t n = 0;
+  for (const SagState& s : sags_) n += s.lock_until > now ? 1 : 0;
+  return n;
+}
+
+std::uint64_t FgNvmBank::active_cds(Cycle now) const {
+  if (bank_lock_ > now) return cd_sense_lock_.size();
+  std::uint64_t n = 0;
+  for (std::size_t cd = 0; cd < cd_sense_lock_.size(); ++cd) {
+    n += (cd_sense_lock_[cd] > now || cd_write_lock_[cd] > now) ? 1 : 0;
+  }
+  return n;
 }
 
 std::uint64_t FgNvmBank::open_row(std::uint64_t sag) const {

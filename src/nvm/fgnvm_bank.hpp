@@ -42,6 +42,14 @@ class FgNvmBank final : public Bank {
   void close_row(const mem::DecodedAddr& a, Cycle at) override;
   Cycle busy_until() const override;
 
+  obs::BlockCause activate_block_cause(const mem::DecodedAddr& a, ActPurpose p,
+                                       Cycle now,
+                                       std::uint64_t extra_cds = 0) const override;
+  obs::BlockCause column_block_cause(const mem::DecodedAddr& a, OpType op,
+                                     Cycle now) const override;
+  std::uint64_t active_sags(Cycle now) const override;
+  std::uint64_t active_cds(Cycle now) const override;
+
   const BankStats& stats() const override { return stats_; }
   const AccessModes& modes() const { return modes_; }
 
@@ -64,6 +72,8 @@ class FgNvmBank final : public Bank {
     std::uint64_t sensed = 0;      // CD bitmask sensed for open_row
     Cycle sense_ready = 0;         // last ACT completes
     Cycle lock_until = 0;          // ACT in progress or write in progress
+    Cycle write_until = 0;         // write in progress (attribution only:
+                                   // splits lock_until into ACT vs write)
   };
 
   mem::MemGeometry geo_;

@@ -1,0 +1,50 @@
+// Blocking-cause taxonomy for request-level tracing.
+//
+// Every cycle a request spends between enqueue and column issue is
+// attributed to exactly one cause. The first five mirror the paper's
+// conflict classes (Section 4/6: SAG conflicts, CD sensing conflicts,
+// write blocking, shared-bus column conflicts, scheduler policy); kService
+// separates the request's *own* in-flight command (its ACT/sensing
+// completing) from genuine resource conflicts, so conflict totals are not
+// inflated by intrinsic device latency.
+//
+// Standalone header (no dependencies beyond <cstdint>) so the bank models
+// can classify stalls without pulling in the collector machinery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fgnvm::obs {
+
+enum class BlockCause : std::uint8_t {
+  kNone = 0,     ///< not blocked (issuable, or no attribution yet)
+  kSagBusy,      ///< SAG wordline/row-latch held by another activation
+  kCdBusy,       ///< CD local-bitline path busy sensing for another request
+  kWriteBlock,   ///< blocked behind a (backgrounded) write's program pulse
+  kBusConflict,  ///< shared column path / data-bus lane busy (tCCD or burst)
+  kQueuePolicy,  ///< issuable resources-wise, held back by scheduler policy
+                 ///< (issue width, FCFS order, oldest-per-SAG rule,
+                 ///< watermark/backgrounding gates)
+  kService,      ///< own command in flight (ACT/sensing for this request)
+  kCount
+};
+
+inline constexpr std::size_t kNumBlockCauses =
+    static_cast<std::size_t>(BlockCause::kCount);
+
+constexpr const char* to_string(BlockCause c) {
+  switch (c) {
+    case BlockCause::kNone: return "none";
+    case BlockCause::kSagBusy: return "sag_busy";
+    case BlockCause::kCdBusy: return "cd_busy";
+    case BlockCause::kWriteBlock: return "write_block";
+    case BlockCause::kBusConflict: return "bus_conflict";
+    case BlockCause::kQueuePolicy: return "queue_policy";
+    case BlockCause::kService: return "service";
+    case BlockCause::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace fgnvm::obs

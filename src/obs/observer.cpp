@@ -1,0 +1,282 @@
+#include "obs/observer.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fgnvm::obs {
+
+// ------------------------------------------------------------ Log2Histogram
+
+void Log2Histogram::add(std::uint64_t value) {
+  ++total_;
+  const std::size_t idx =
+      value < 2 ? 0 : static_cast<std::size_t>(std::bit_width(value)) - 1;
+  if (idx >= kBuckets) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+// ------------------------------------------------------------ ObsConfig
+
+ObsConfig ObsConfig::from_config(const Config& cfg) {
+  ObsConfig c;
+  c.enabled = cfg.get_bool("obs_trace", c.enabled);
+  c.epoch = cfg.get_u64("obs_epoch", c.epoch);
+  c.max_records = cfg.get_u64("obs_max_records", c.max_records);
+  if (c.epoch == 0) throw std::runtime_error("ObsConfig: obs_epoch must be > 0");
+  return c;
+}
+
+// ------------------------------------------------------------ RequestTrace
+
+std::uint64_t RequestTrace::blocked_total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t b : blocked) sum += b;
+  return sum;
+}
+
+// ------------------------------------------------------------ TimeSeries
+
+namespace {
+constexpr const char* kCsvHeader =
+    "cycle,ipc,read_q,write_q,inflight,mean_bank_q,max_bank_q,open_acts,"
+    "busy_tiles,tile_util";
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;  // max_digits10: exact round-trip
+  return os.str();
+}
+}  // namespace
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  os << kCsvHeader << "\n";
+  for (const TimeSeriesSample& s : samples_) {
+    os << s.cycle << ',' << format_double(s.ipc) << ',' << s.read_q << ','
+       << s.write_q << ',' << s.inflight << ',' << format_double(s.mean_bank_q)
+       << ',' << s.max_bank_q << ',' << s.open_acts << ',' << s.busy_tiles
+       << ',' << format_double(s.tile_util) << "\n";
+  }
+  return os.str();
+}
+
+TimeSeries TimeSeries::from_csv(const std::string& csv) {
+  TimeSeries ts;
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw std::runtime_error("TimeSeries::from_csv: bad or missing header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() != 10) {
+      throw std::runtime_error("TimeSeries::from_csv: bad row: " + line);
+    }
+    TimeSeriesSample s;
+    s.cycle = std::strtoull(fields[0].c_str(), nullptr, 10);
+    s.ipc = std::strtod(fields[1].c_str(), nullptr);
+    s.read_q = std::strtoull(fields[2].c_str(), nullptr, 10);
+    s.write_q = std::strtoull(fields[3].c_str(), nullptr, 10);
+    s.inflight = std::strtoull(fields[4].c_str(), nullptr, 10);
+    s.mean_bank_q = std::strtod(fields[5].c_str(), nullptr);
+    s.max_bank_q = std::strtoull(fields[6].c_str(), nullptr, 10);
+    s.open_acts = std::strtoull(fields[7].c_str(), nullptr, 10);
+    s.busy_tiles = std::strtoull(fields[8].c_str(), nullptr, 10);
+    s.tile_util = std::strtod(fields[9].c_str(), nullptr);
+    ts.push(s);
+  }
+  return ts;
+}
+
+bool TimeSeries::operator==(const TimeSeries& other) const {
+  if (samples_.size() != other.samples_.size()) return false;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const TimeSeriesSample& a = samples_[i];
+    const TimeSeriesSample& b = other.samples_[i];
+    if (a.cycle != b.cycle || a.ipc != b.ipc || a.read_q != b.read_q ||
+        a.write_q != b.write_q || a.inflight != b.inflight ||
+        a.mean_bank_q != b.mean_bank_q || a.max_bank_q != b.max_bank_q ||
+        a.open_acts != b.open_acts || a.busy_tiles != b.busy_tiles ||
+        a.tile_util != b.tile_util) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ ChannelCollector
+
+ChannelCollector::ChannelCollector(const ObsConfig& cfg) : cfg_(cfg) {}
+
+void ChannelCollector::on_enqueue(const mem::MemRequest& req, Cycle now) {
+  OpenRec o;
+  o.rec.id = req.id;
+  o.rec.op = req.op;
+  o.rec.klass =
+      req.is_read() ? RequestClass::kRead : RequestClass::kWrite;
+  o.rec.channel = req.addr.channel;
+  o.rec.rank = req.addr.rank;
+  o.rec.bank = req.addr.bank;
+  o.rec.sag = req.addr.sag;
+  o.rec.cd = req.addr.cd;
+  o.rec.enqueue = now;
+  open_.emplace(req.id, o);
+}
+
+void ChannelCollector::close_spans(Cycle now) {
+  if (now <= span_start_) return;
+  const std::uint64_t span = now - span_start_;
+  for (auto& [id, o] : open_) {
+    if (o.pending == BlockCause::kNone) continue;
+    const auto idx = static_cast<std::size_t>(o.pending);
+    o.rec.blocked[idx] += span;
+    cause_totals_[idx] += span;
+  }
+  span_start_ = now;
+}
+
+void ChannelCollector::set_cause(RequestId id, BlockCause cause, Cycle now) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.pending = cause;
+  if (it->second.rec.first_attempt == kNeverCycle) {
+    it->second.rec.first_attempt = now;
+  }
+}
+
+void ChannelCollector::on_activate(RequestId id, Cycle now, bool underfetch) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  RequestTrace& r = it->second.rec;
+  if (r.first_attempt == kNeverCycle) r.first_attempt = now;
+  if (r.activate == kNeverCycle) r.activate = now;
+  if (underfetch && r.op == OpType::kRead) {
+    r.klass = RequestClass::kUnderfetchRead;
+  }
+}
+
+void ChannelCollector::on_read_burst(RequestId id, Cycle issue,
+                                     Cycle burst_start) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  RequestTrace& r = it->second.rec;
+  if (r.first_attempt == kNeverCycle) r.first_attempt = issue;
+  r.burst = burst_start;
+  it->second.pending = BlockCause::kNone;  // in service from here on
+}
+
+void ChannelCollector::on_write_issue(RequestId id, Cycle issue, Cycle done) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  RequestTrace& r = it->second.rec;
+  if (r.first_attempt == kNeverCycle) r.first_attempt = issue;
+  r.burst = issue;
+  r.completion = done;
+  finish(it->second);
+  open_.erase(it);
+}
+
+void ChannelCollector::on_read_complete(RequestId id, Cycle done) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.rec.completion = done;
+  finish(it->second);
+  open_.erase(it);
+}
+
+void ChannelCollector::finish(OpenRec& o) {
+  hists_[static_cast<std::size_t>(o.rec.klass)].add(o.rec.completion -
+                                                    o.rec.enqueue);
+  if (records_.size() < cfg_.max_records) {
+    records_.push_back(o.rec);
+  } else {
+    ++dropped_;
+  }
+}
+
+// ------------------------------------------------------------ Observer
+
+Observer::Observer(const ObsConfig& cfg, std::uint64_t channels) : cfg_(cfg) {
+  collectors_.reserve(channels);
+  for (std::uint64_t i = 0; i < channels; ++i) {
+    collectors_.push_back(std::make_unique<ChannelCollector>(cfg));
+  }
+}
+
+void Observer::record_sample(TimeSeriesSample s) {
+  if (instr_source_) {
+    const std::uint64_t instr = instr_source_();
+    const Cycle span = s.cycle - last_sample_cycle_;
+    if (span > 0) {
+      s.ipc = static_cast<double>(instr - last_instr_) /
+              static_cast<double>(span);
+    }
+    last_instr_ = instr;
+  }
+  last_sample_cycle_ = s.cycle;
+  series_.push(s);
+  next_sample_ = (s.cycle / cfg_.epoch + 1) * cfg_.epoch;
+}
+
+std::array<std::uint64_t, kNumBlockCauses> Observer::cause_totals() const {
+  std::array<std::uint64_t, kNumBlockCauses> sum{};
+  for (const auto& c : collectors_) {
+    const auto& t = c->cause_totals();
+    for (std::size_t i = 0; i < kNumBlockCauses; ++i) sum[i] += t[i];
+  }
+  return sum;
+}
+
+std::uint64_t Observer::blocked_cycles_total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : cause_totals()) sum += v;
+  return sum;
+}
+
+Log2Histogram Observer::histogram(RequestClass klass) const {
+  Log2Histogram h;
+  for (const auto& c : collectors_) h.merge(c->histogram(klass));
+  return h;
+}
+
+std::uint64_t Observer::completed_records() const {
+  std::uint64_t n = 0;
+  for (const auto& c : collectors_) n += c->records().size();
+  return n;
+}
+
+std::uint64_t Observer::dropped_records() const {
+  std::uint64_t n = 0;
+  for (const auto& c : collectors_) n += c->dropped_records();
+  return n;
+}
+
+std::uint64_t Observer::forwarded() const {
+  std::uint64_t n = 0;
+  for (const auto& c : collectors_) n += c->forwarded();
+  return n;
+}
+
+std::uint64_t Observer::coalesced() const {
+  std::uint64_t n = 0;
+  for (const auto& c : collectors_) n += c->coalesced();
+  return n;
+}
+
+}  // namespace fgnvm::obs

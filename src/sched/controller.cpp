@@ -103,6 +103,7 @@ void Controller::enqueue(mem::MemRequest req, Cycle now) {
       completed_.push_back(req);
       stats_.inc("reads.forwarded");
       stats_.sample("read_latency", 1.0);
+      if (obs_) obs_->on_forwarded();
       return;
     }
     if (reads_.size() >= cfg_.read_queue_cap) {
@@ -115,9 +116,17 @@ void Controller::enqueue(mem::MemRequest req, Cycle now) {
     last_read_activity_ = now;
     sag_last_read_[sag_group(req.addr)] = now;
     stats_.inc("reads.accepted");
+    if (obs_) obs_->on_enqueue(req, now);
   } else {
     const bool coalesced = writes_.add(req);
     stats_.inc(coalesced ? "writes.coalesced" : "writes.accepted");
+    if (obs_) {
+      if (coalesced) {
+        obs_->on_coalesced();
+      } else {
+        obs_->on_enqueue(req, now);
+      }
+    }
   }
 }
 
@@ -172,6 +181,7 @@ bool Controller::try_issue_read_column(Cycle now) {
     assert(burst_start == data_start);
     (void)burst_start;
     bus_.reserve(data_start, timing_.tBURST);
+    if (obs_) obs_->on_read_burst(it->req.id, now, data_start);
     InFlight fl{it->req, data_start + timing_.tBURST};
     inflight_reads_.push_back(fl);
     sag_last_read_[sag_group(it->req.addr)] = now;
@@ -211,8 +221,20 @@ bool Controller::try_issue_read_activate(Cycle now) {
     }
     if (bank.earliest_activate(a, nvm::ActPurpose::kRead, now, extra_cds) <=
         now) {
+      // An underfetch re-sense is an ACT on the already-open row (some CDs
+      // the queue wants were not sensed by the earlier activation).
+      const bool underfetch = bank.row_open(a);
       bank.issue_activate(a, nvm::ActPurpose::kRead, now, extra_cds);
       stats_.inc("cmd.act_read");
+      if (obs_) {
+        // Stamp the ACT on every queued read this activation now covers.
+        for (const PendingRead& other : reads_) {
+          const mem::DecodedAddr& o = other.req.addr;
+          if (o.same_row(a) && bank.segments_sensed(o)) {
+            obs_->on_activate(other.req.id, now, underfetch);
+          }
+        }
+      }
       return true;
     }
     if (cfg_.policy == SchedulerPolicy::kFcfs) return false;
@@ -241,6 +263,7 @@ bool Controller::try_issue_write(Cycle now, bool background_only) {
           bank.earliest_activate(w.addr, nvm::ActPurpose::kWrite, now) <= now) {
         bank.issue_activate(w.addr, nvm::ActPurpose::kWrite, now);
         stats_.inc("cmd.act_write");
+        if (obs_) obs_->on_activate(w.id, now, /*underfetch=*/false);
         return true;
       }
       continue;
@@ -255,6 +278,7 @@ bool Controller::try_issue_write(Cycle now, bool background_only) {
     const Cycle done = bank.issue_column(w.addr, OpType::kWrite, now);
     write_done_times_.push_back(done);
     bus_.reserve(data_start, timing_.tBURST);
+    if (obs_) obs_->on_write_issue(w.id, now, done);
     const mem::DecodedAddr done_addr = w.addr;
     writes_.remove(w.id);
     stats_.inc(background_only ? "cmd.write_background" : "cmd.write_drain");
@@ -312,6 +336,10 @@ bool Controller::try_issue(Cycle now, bool& write_done) {
 }
 
 void Controller::tick(Cycle now) {
+  // Charge the span since the previous tick to each traced request's pending
+  // cause before any state changes this cycle.
+  if (obs_) obs_->close_spans(now);
+
   // Retire finished read bursts.
   for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
     if (it->done <= now) {
@@ -319,6 +347,7 @@ void Controller::tick(Cycle now) {
       const double latency = static_cast<double>(it->done - it->req.arrival);
       stats_.sample("read_latency", latency);
       stats_.hsample("read_latency_hist", latency);
+      if (obs_) obs_->on_read_complete(it->req.id, it->done);
       completed_.push_back(it->req);
       it = inflight_reads_.erase(it);
     } else {
@@ -331,6 +360,104 @@ void Controller::tick(Cycle now) {
   for (std::uint64_t slot = 0; slot < cfg_.issue_width; ++slot) {
     if (!try_issue(now, write_done)) break;
   }
+
+  if (obs_) observe_blocking(now);
+}
+
+void Controller::observe_blocking(Cycle now) {
+  using obs::BlockCause;
+  // Post-issue classification: everything still queued here failed to issue
+  // this tick; the bank state now reflects whatever did issue, so the cause
+  // read off the bank is the one that will hold until the next event.
+  begin_group_scan();
+  bool head = true;
+  for (const PendingRead& r : reads_) {
+    const mem::DecodedAddr& a = r.req.addr;
+    const bool oldest = first_in_group(sag_group(a));
+    if (cfg_.policy == SchedulerPolicy::kFcfs && !head) {
+      // FCFS serves strictly in order: everything behind the head waits on
+      // the queue discipline, whatever the banks look like.
+      obs_->set_cause(r.req.id, BlockCause::kQueuePolicy, now);
+      continue;
+    }
+    head = false;
+    const nvm::Bank& bank = bank_of(a);
+    BlockCause cause;
+    if (bank.segments_sensed(a)) {
+      cause = bank.column_block_cause(a, OpType::kRead, now);
+      if (cause == BlockCause::kNone) {
+        cause = bus_.available(now + timing_.tCAS) ? BlockCause::kQueuePolicy
+                                                   : BlockCause::kBusConflict;
+      }
+    } else if (!oldest) {
+      cause = BlockCause::kQueuePolicy;  // an older read owns this SAG's ACT
+    } else {
+      cause = bank.activate_block_cause(a, nvm::ActPurpose::kRead, now);
+      if (cause == BlockCause::kNone) cause = BlockCause::kQueuePolicy;
+    }
+    obs_->set_cause(r.req.id, cause, now);
+  }
+
+  if (writes_.empty()) return;
+  const bool draining = writes_.draining();
+  const bool idle_path = !draining && reads_.empty() &&
+                         inflight_reads_.empty() &&
+                         (writes_.size() >= cfg_.wq_low ||
+                          now >= last_read_activity_ + cfg_.drain_idle_timeout);
+  std::uint64_t live_writes = 0;
+  for (const Cycle d : write_done_times_) live_writes += d > now ? 1 : 0;
+  const bool bg_path = !draining &&
+                       cfg_.policy == SchedulerPolicy::kFrfcfsAugmented &&
+                       writes_.size() >= cfg_.bg_write_min &&
+                       live_writes < cfg_.bg_write_inflight_max;
+  begin_group_scan();
+  for (const mem::MemRequest& w : writes_.entries()) {
+    const bool oldest = first_in_group(sag_group(w.addr));
+    bool eligible = draining || idle_path;
+    if (!eligible && bg_path && !write_conflicts_with_reads(w.addr) &&
+        now >= sag_last_read_[sag_group(w.addr)] + cfg_.bg_write_guard) {
+      eligible = true;
+    }
+    BlockCause cause = BlockCause::kQueuePolicy;
+    if (eligible) {
+      const nvm::Bank& bank = bank_of(w.addr);
+      if (bank.row_open(w.addr)) {
+        cause = bank.column_block_cause(w.addr, OpType::kWrite, now);
+        if (cause == BlockCause::kNone) {
+          cause = bus_.available(now + timing_.tCWD)
+                      ? BlockCause::kQueuePolicy
+                      : BlockCause::kBusConflict;
+        }
+      } else if (oldest) {
+        cause = bank.activate_block_cause(w.addr, nvm::ActPurpose::kWrite, now);
+        if (cause == BlockCause::kNone) cause = BlockCause::kQueuePolicy;
+      }
+    }
+    obs_->set_cause(w.id, cause, now);
+  }
+}
+
+void Controller::sample_obs(Cycle now, obs::ChannelSample& s) const {
+  s.read_q += reads_.size();
+  s.write_q += writes_.size();
+  s.inflight += inflight_reads_.size();
+  const std::uint64_t nbanks = banks_.size();
+  s.banks += nbanks;
+  // Scratch allocation is fine here: sampling only runs on the enabled path,
+  // once per epoch.
+  std::vector<std::uint64_t> depth(nbanks, 0);
+  for (const PendingRead& r : reads_) {
+    ++depth[r.req.addr.rank * geo_.banks_per_rank + r.req.addr.bank];
+  }
+  for (const std::uint64_t d : depth) s.max_bank_q = std::max(s.max_bank_q, d);
+  for (const auto& bank : banks_) {
+    s.open_acts += bank->active_sags(now);
+    s.busy_tiles += bank->active_cds(now);
+  }
+  // A CD serves one (SAG, CD) tile group at a time, so the number of tile
+  // groups usable concurrently — the utilization denominator — is the CD
+  // count, not SAGs x CDs.
+  s.tile_groups += nbanks * geo_.num_cds;
 }
 
 std::vector<mem::MemRequest> Controller::take_completed() {

@@ -26,6 +26,7 @@
 #include "mem/request.hpp"
 #include "mem/timing.hpp"
 #include "nvm/bank.hpp"
+#include "obs/observer.hpp"
 #include "sched/write_queue.hpp"
 
 namespace fgnvm::sched {
@@ -106,6 +107,15 @@ class Controller {
   const StatSet& stats() const { return stats_; }
   std::uint64_t pending_reads() const { return reads_.size(); }
 
+  /// Attaches a request-trace collector (fgnvm::obs). Null (the default)
+  /// disables collection: the hot paths then take one pointer test per hook
+  /// and allocate nothing — simulated timing and stats are unchanged either
+  /// way, since the collector is purely passive.
+  void set_collector(obs::ChannelCollector* collector) { obs_ = collector; }
+
+  /// Accumulates this channel's contribution to an epoch sample.
+  void sample_obs(Cycle now, obs::ChannelSample& s) const;
+
  private:
   struct PendingRead {
     mem::MemRequest req;
@@ -138,6 +148,9 @@ class Controller {
   bool try_issue_read_activate(Cycle now);
   bool try_issue_write(Cycle now, bool background_only);
   bool write_conflicts_with_reads(const mem::DecodedAddr& w) const;
+  /// End-of-tick classification of why each still-queued request did not
+  /// issue this cycle; feeds the obs collector (obs_ != nullptr only).
+  void observe_blocking(Cycle now);
   /// Closed-page hook: closes `a`'s row unless another queued request
   /// still wants it.
   void maybe_close_row(const mem::DecodedAddr& a, Cycle now);
@@ -157,6 +170,7 @@ class Controller {
   std::vector<Cycle> write_done_times_;  // in-flight write completions
   mutable std::vector<std::uint64_t> group_stamp_;  // see first_in_group
   mutable std::uint64_t group_scan_ = 0;
+  obs::ChannelCollector* obs_ = nullptr;  // request tracing; null = disabled
 
   StatSet stats_;
 };

@@ -160,6 +160,105 @@ std::string to_json(const RunResult& r, int indent) {
   return w.str();
 }
 
+std::string obs_json(const obs::Observer& o, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("workload", o.workload());
+  w.field("config", o.config_name());
+  w.field("channels", o.channels());
+  w.field("epoch", o.config().epoch);
+  w.field("completed_records", o.completed_records());
+  w.field("dropped_records", o.dropped_records());
+  w.field("forwarded_reads", o.forwarded());
+  w.field("coalesced_writes", o.coalesced());
+  const auto totals = o.cause_totals();
+  w.open("blocked_cycles");
+  for (std::size_t i = 1; i < obs::kNumBlockCauses; ++i) {
+    w.field(obs::to_string(static_cast<obs::BlockCause>(i)), totals[i]);
+  }
+  w.field("total", o.blocked_cycles_total());
+  w.close();
+  w.open("latency_histograms");
+  for (std::size_t k = 0; k < obs::kNumRequestClasses; ++k) {
+    const auto klass = static_cast<obs::RequestClass>(k);
+    const obs::Log2Histogram h = o.histogram(klass);
+    w.open(obs::to_string(klass));
+    w.field("count", h.total());
+    w.field("overflow", h.overflow());
+    std::ostringstream arr;
+    arr << "[";
+    bool first = true;
+    for (std::size_t b = 0; b < obs::Log2Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) continue;
+      arr << (first ? "" : ", ") << '[' << obs::Log2Histogram::bucket_low(b)
+          << ", " << obs::Log2Histogram::bucket_high(b) << ", " << h.bucket(b)
+          << ']';
+      first = false;
+    }
+    arr << "]";
+    w.raw_field("buckets", arr.str());
+    w.close();
+  }
+  w.close();
+  {
+    std::ostringstream ts;
+    ts << std::setprecision(17) << "[";
+    const auto& samples = o.series().samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const obs::TimeSeriesSample& s = samples[i];
+      ts << (i ? ", " : "") << "{\"cycle\": " << s.cycle
+         << ", \"ipc\": " << s.ipc << ", \"read_q\": " << s.read_q
+         << ", \"write_q\": " << s.write_q << ", \"inflight\": " << s.inflight
+         << ", \"mean_bank_q\": " << s.mean_bank_q
+         << ", \"max_bank_q\": " << s.max_bank_q
+         << ", \"open_acts\": " << s.open_acts
+         << ", \"busy_tiles\": " << s.busy_tiles
+         << ", \"tile_util\": " << s.tile_util << "}";
+    }
+    ts << "]";
+    w.raw_field("time_series", ts.str());
+  }
+  w.close();
+  return w.str();
+}
+
+std::string obs_timeseries_csv(const obs::Observer& o) {
+  return o.series().to_csv();
+}
+
+namespace {
+
+std::string cycle_or_minus1(Cycle c) {
+  return c == kNeverCycle ? std::string("-1") : std::to_string(c);
+}
+
+}  // namespace
+
+std::string obs_requests_csv(const obs::Observer& o) {
+  std::ostringstream os;
+  os << "id,op,class,channel,rank,bank,sag,cd,enqueue,first_attempt,activate,"
+        "burst,completion,blocked_total";
+  for (std::size_t i = 1; i < obs::kNumBlockCauses; ++i) {
+    os << ",blocked_" << obs::to_string(static_cast<obs::BlockCause>(i));
+  }
+  os << "\n";
+  for (std::uint64_t ch = 0; ch < o.channels(); ++ch) {
+    for (const obs::RequestTrace& r : o.channel(ch).records()) {
+      os << r.id << ',' << (r.op == OpType::kRead ? "read" : "write") << ','
+         << obs::to_string(r.klass) << ',' << r.channel << ',' << r.rank << ','
+         << r.bank << ',' << r.sag << ',' << r.cd << ',' << r.enqueue << ','
+         << cycle_or_minus1(r.first_attempt) << ','
+         << cycle_or_minus1(r.activate) << ',' << cycle_or_minus1(r.burst)
+         << ',' << cycle_or_minus1(r.completion) << ',' << r.blocked_total();
+      for (std::size_t i = 1; i < obs::kNumBlockCauses; ++i) {
+        os << ',' << r.blocked[i];
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
 std::string to_json(const MultiProgramResult& r, int indent) {
   JsonWriter w(indent);
   w.open();

@@ -19,4 +19,16 @@ std::string to_json(const MultiProgramResult& result, int indent = 2);
 /// Escapes a string for embedding in JSON (quotes, control characters).
 std::string json_escape(const std::string& s);
 
+/// Serializes an observer (obs_trace runs): per-cause blocked-cycle totals,
+/// per-class latency histograms (populated buckets as [low, high, count]),
+/// record counts, and the epoch time-series.
+std::string obs_json(const obs::Observer& obs, int indent = 2);
+
+/// The observer's epoch time-series as CSV (TimeSeries::to_csv).
+std::string obs_timeseries_csv(const obs::Observer& obs);
+
+/// Per-request trace records as CSV, one row per completed request across
+/// all channels. Lifecycle stages the request never reached print as -1.
+std::string obs_requests_csv(const obs::Observer& obs);
+
 }  // namespace fgnvm::sim

@@ -32,6 +32,13 @@ RunResult finalize(const std::string& workload, sys::MemorySystem& mem,
   r.p50_read_latency = hist.percentile(0.50);
   r.p95_read_latency = hist.percentile(0.95);
   r.p99_read_latency = hist.percentile(0.99);
+  if (obs::Observer* o = mem.observer()) {
+    o->set_run_info(workload, mem.config().name);
+    // The instruction source captures loop-local state; the observer itself
+    // outlives the run through the shared_ptr below.
+    o->set_instruction_source(nullptr);
+  }
+  r.obs = mem.observer_ptr();
   return r;
 }
 
@@ -126,6 +133,9 @@ RunResult run_workload_loop(const trace::Trace& trace,
                             Cycle max_mem_cycles, bool skip) {
   sys::MemorySystem mem(sys_cfg);
   cpu::RobCpu core(trace, cpu_params, mem);
+  if (obs::Observer* o = mem.observer()) {
+    o->set_instruction_source([&core] { return core.instructions_retired(); });
+  }
   std::vector<mem::MemRequest> done;
 
   Cycle t = 0;
@@ -168,6 +178,13 @@ MultiProgramResult run_multiprogrammed_loop(
   for (std::size_t i = 0; i < traces.size(); ++i) {
     cores.push_back(
         std::make_unique<cpu::RobCpu>(traces[i], cpu_params, mem, i));
+  }
+  if (obs::Observer* o = mem.observer()) {
+    o->set_instruction_source([&cores] {
+      std::uint64_t n = 0;
+      for (const auto& c : cores) n += c->instructions_retired();
+      return n;
+    });
   }
 
   const auto all_finished = [&]() {
@@ -215,6 +232,11 @@ MultiProgramResult run_multiprogrammed_loop(
     r.ipc.push_back(cores[i]->ipc());
     r.cpu_cycles.push_back(cores[i]->cpu_cycles());
   }
+  if (obs::Observer* o = mem.observer()) {
+    o->set_run_info("multiprogram", mem.config().name);
+    o->set_instruction_source(nullptr);  // captures the loop-local cores
+  }
+  r.obs = mem.observer_ptr();
   return r;
 }
 

@@ -3,12 +3,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "cpu/rob_cpu.hpp"
 #include "nvm/energy.hpp"
+#include "obs/observer.hpp"
 #include "sys/memory_system.hpp"
 #include "trace/trace.hpp"
 
@@ -44,6 +46,9 @@ struct RunResult {
   nvm::EnergyBreakdown energy;
   nvm::BankStats banks;
   StatSet controller;
+  /// Request traces / time-series, when obs_trace was enabled; else null.
+  /// Never part of diff_results — observability must not gate equivalence.
+  std::shared_ptr<const obs::Observer> obs;
 
   /// Energy per memory operation in pJ (the Figure-5 normalization basis).
   double energy_per_op_pj() const;
@@ -80,6 +85,7 @@ struct MultiProgramResult {
   Cycle mem_cycles = 0;           // until the last core finished
   nvm::EnergyBreakdown energy;
   StatSet controller;
+  std::shared_ptr<const obs::Observer> obs;  // see RunResult::obs
 
   /// Sum over cores of shared_ipc / alone_ipc (the usual weighted-speedup
   /// metric); `alone` must be same-order per-core isolated IPCs.

@@ -30,6 +30,7 @@ SystemConfig SystemConfig::from_config(const Config& cfg) {
       cfg.get_bool("multi_activation", sc.modes.multi_activation);
   sc.modes.background_writes =
       cfg.get_bool("background_writes", sc.modes.background_writes);
+  sc.obs = obs::ObsConfig::from_config(cfg);
   return sc;
 }
 
@@ -47,6 +48,12 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
   for (std::uint64_t ch = 0; ch < cfg_.geometry.channels; ++ch) {
     channels_.push_back(std::make_unique<sched::Controller>(
         cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
+  }
+  if (cfg_.obs.enabled) {
+    obs_ = std::make_shared<obs::Observer>(cfg_.obs, channels_.size());
+    for (std::uint64_t ch = 0; ch < channels_.size(); ++ch) {
+      channels_[ch]->set_collector(obs_->channel(ch));
+    }
   }
 }
 
@@ -69,6 +76,25 @@ RequestId MemorySystem::submit(Addr addr, OpType op, Cycle now,
 
 void MemorySystem::tick(Cycle now) {
   for (auto& ch : channels_) ch->tick(now);
+  if (obs_ && obs_->sample_due(now)) {
+    obs::ChannelSample cs;
+    for (const auto& ch : channels_) ch->sample_obs(now, cs);
+    obs::TimeSeriesSample s;
+    s.cycle = now;
+    s.read_q = cs.read_q;
+    s.write_q = cs.write_q;
+    s.inflight = cs.inflight;
+    s.mean_bank_q = cs.banks != 0 ? static_cast<double>(cs.read_q) /
+                                        static_cast<double>(cs.banks)
+                                  : 0.0;
+    s.max_bank_q = cs.max_bank_q;
+    s.open_acts = cs.open_acts;
+    s.busy_tiles = cs.busy_tiles;
+    s.tile_util = cs.tile_groups != 0 ? static_cast<double>(cs.busy_tiles) /
+                                            static_cast<double>(cs.tile_groups)
+                                      : 0.0;
+    obs_->record_sample(s);
+  }
 }
 
 std::vector<mem::MemRequest> MemorySystem::take_completed() {

@@ -14,6 +14,7 @@
 #include "mem/geometry.hpp"
 #include "mem/timing.hpp"
 #include "nvm/energy.hpp"
+#include "obs/observer.hpp"
 #include "sched/controller.hpp"
 
 namespace fgnvm::sys {
@@ -34,6 +35,7 @@ struct SystemConfig {
   nvm::AccessModes modes;
   sched::ControllerConfig controller;
   nvm::EnergyParams energy;
+  obs::ObsConfig obs;
 
   /// Builds from a flat Config; see individual from_config methods for keys.
   /// Access-mode keys: partial_activation, multi_activation,
@@ -83,11 +85,18 @@ class MemorySystem {
   std::uint64_t submitted_reads() const { return submitted_reads_; }
   std::uint64_t submitted_writes() const { return submitted_writes_; }
 
+  /// Null unless SystemConfig::obs.enabled. Shared so sim::RunResult can
+  /// keep the collected traces alive past the MemorySystem itself.
+  const obs::Observer* observer() const { return obs_.get(); }
+  obs::Observer* observer() { return obs_.get(); }
+  std::shared_ptr<const obs::Observer> observer_ptr() const { return obs_; }
+
  private:
   SystemConfig cfg_;
   mem::AddressDecoder decoder_;
   std::vector<std::unique_ptr<sched::Controller>> channels_;
   nvm::EnergyModel energy_model_;
+  std::shared_ptr<obs::Observer> obs_;  // null = tracing disabled
   RequestId next_id_ = 1;
   std::uint64_t submitted_reads_ = 0;
   std::uint64_t submitted_writes_ = 0;
