@@ -102,6 +102,70 @@ void BM_ControllerNextEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerNextEvent);
 
+sys::SystemConfig deep_queue_config(std::uint64_t sags, std::uint64_t cds) {
+  // Deep scheduler queues: the regime where the pre-index full-queue scans
+  // were O(Q) per issue slot and O(Q^2) per demand-aggregated activation.
+  sys::SystemConfig cfg = sys::fgnvm_config(sags, cds);
+  cfg.controller.read_queue_cap = 64;
+  cfg.controller.write_queue_cap = 128;
+  cfg.controller.wq_high = 64;
+  cfg.controller.wq_low = 16;
+  return cfg;
+}
+
+void BM_TryIssueDeepQueue(benchmark::State& state) {
+  // Steady-state issue selection against a saturated 64-entry read queue:
+  // each tick runs the column/activate/write pick walks, with the submit
+  // loop keeping the queue at capacity.
+  const sys::SystemConfig cfg =
+      deep_queue_config(state.range(0), state.range(1));
+  sys::MemorySystem mem(cfg);
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("mcf"), 8192);
+  std::vector<mem::MemRequest> out;
+  Cycle now = 0;
+  std::size_t rec = 0;
+  for (auto _ : state) {
+    while (true) {
+      const trace::TraceRecord& r = tr.records[rec];
+      if (!mem.can_accept(r.addr, r.op)) break;
+      mem.submit(r.addr, r.op, now, 0);
+      rec = (rec + 1) % tr.records.size();
+    }
+    mem.tick(now);
+    mem.drain_completed(out);
+    benchmark::DoNotOptimize(out.data());
+    out.clear();
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TryIssueDeepQueue)->Args({8, 8})->Args({32, 32});
+
+void BM_NextEventDeepQueue(benchmark::State& state) {
+  // next_event against a saturated 64-entry read queue plus queued writes —
+  // the event-skipping loop's query cost at depth. The indexed scheduler
+  // serves this from cached per-bank candidates (banks stay clean between
+  // queries), where the scan implementation re-walked every queue entry.
+  const sys::SystemConfig cfg =
+      deep_queue_config(state.range(0), state.range(1));
+  sys::MemorySystem mem(cfg);
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("mcf"), 512);
+  Cycle now = 0;
+  for (const trace::TraceRecord& rec : tr.records) {
+    if (!mem.can_accept(rec.addr, rec.op)) break;
+    mem.submit(rec.addr, rec.op, now, 0);
+  }
+  std::vector<mem::MemRequest> drained;
+  mem.tick(now);
+  mem.drain_completed(drained);  // forwarded reads would short-circuit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.next_event(now));
+  }
+}
+BENCHMARK(BM_NextEventDeepQueue)->Args({8, 8})->Args({32, 32});
+
 void BM_TakeCompleted(benchmark::State& state) {
   // Steady-state submit/tick/drain cycle through the allocation-free
   // completion path (drain_completed into a reused buffer).

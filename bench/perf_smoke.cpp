@@ -1,9 +1,12 @@
 // Performance smoke test with machine-readable output.
 //
-// Measures two throughput figures and writes them as JSON so CI and
+// Measures three throughput figures and writes them as JSON so CI and
 // regression tooling can track them without parsing tables:
 //  * end-to-end simulator throughput: simulated memory operations per
 //    wall-clock second for the milc workload on the 4x4 FgNVM config;
+//  * deep-queue throughput: memory-only mcf runs on an 8x8 FgNVM with
+//    64-entry read / 128-entry write queues — the regime that stresses the
+//    scheduler's issue-selection and next_event paths;
 //  * sweep wall time: seconds for a SweepRunner sweep of all evaluation
 //    workloads through baseline + FgNVM 4x4.
 //
@@ -52,6 +55,30 @@ int main(int argc, char** argv) {
   const double mem_ops_per_sec =
       static_cast<double>(ops) * runs / run_secs;
 
+  // Deep-queue throughput: memory-only (no core model — every cycle is
+  // controller work) with saturated 64-entry read queues on an 8x8 grid.
+  sys::SystemConfig deep_cfg = sys::fgnvm_config(8, 8);
+  deep_cfg.controller.read_queue_cap = 64;
+  deep_cfg.controller.write_queue_cap = 128;
+  deep_cfg.controller.wq_high = 64;
+  deep_cfg.controller.wq_low = 16;
+  const trace::Trace deep_tr =
+      trace::generate_trace(trace::spec2006_profile("mcf"), ops);
+  (void)sim::run_memory_only(deep_tr, deep_cfg);  // warm-up
+  const auto td = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = sim::run_memory_only(deep_tr, deep_cfg);
+    if (r.reads + r.writes == 0) {
+      std::cerr << "perf_smoke: deep-queue run " << i
+                << " retired no memory ops — refusing to report throughput\n";
+      return 1;
+    }
+  }
+  const double deep_secs =
+      std::chrono::duration<double>(clock::now() - td).count();
+  const double deep_queue_mem_ops_per_sec =
+      static_cast<double>(ops) * runs / deep_secs;
+
   // Sweep wall time: all evaluation workloads through baseline + FgNVM 4x4
   // on the thread pool (FGNVM_THREADS selects the width).
   sim::SweepRunner pool;
@@ -76,6 +103,8 @@ int main(int argc, char** argv) {
        << "  \"ops_per_run\": " << ops << ",\n"
        << "  \"runs\": " << runs << ",\n"
        << "  \"mem_ops_per_sec\": " << mem_ops_per_sec << ",\n"
+       << "  \"deep_queue_mem_ops_per_sec\": " << deep_queue_mem_ops_per_sec
+       << ",\n"
        << "  \"sweep_workloads\": " << traces.size() << ",\n"
        << "  \"sweep_runs\": " << runs_out.size() * 2 << ",\n"
        << "  \"sweep_threads\": " << pool.threads() << ",\n"
@@ -85,6 +114,8 @@ int main(int argc, char** argv) {
 
   std::cout << "simulated mem-ops/sec: " << mem_ops_per_sec << " (" << runs
             << " x " << ops << " ops)\n"
+            << "deep-queue mem-ops/sec: " << deep_queue_mem_ops_per_sec
+            << " (" << runs << " x " << ops << " ops, 8x8, 64-entry queues)\n"
             << "sweep wall seconds: " << sweep_secs << " ("
             << runs_out.size() * 2 << " runs on " << pool.threads()
             << " threads)\n"

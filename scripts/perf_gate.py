@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Perf-regression gate for bench/perf_smoke output.
 
-Compares the mem_ops_per_sec of a fresh BENCH_sim_throughput.json against the
-committed baseline and fails (exit 1) when throughput dropped by more than the
-tolerance. Gains beyond the tolerance are reported but never fail the gate;
-run with --update to bless a new baseline after an intentional change.
+Compares every throughput key (*_mem_ops_per_sec and mem_ops_per_sec) of a
+fresh BENCH_sim_throughput.json against the committed baseline and fails
+(exit 1) when any of them dropped by more than the tolerance. A throughput
+key present in only one of the two files is reported but not gated (so new
+scenarios can land together with their first baseline). Gains beyond the
+tolerance are reported but never fail the gate; run with --update to bless a
+new baseline after an intentional change.
 
 Usage:
     perf_gate.py --current BENCH_sim_throughput.json \
@@ -21,6 +24,11 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
     "bench" / "baselines" / "sim_throughput.json"
 
 
+def throughput_keys(data: dict) -> list:
+    return sorted(k for k in data if k == "mem_ops_per_sec"
+                  or k.endswith("_mem_ops_per_sec"))
+
+
 def load(path: Path) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
@@ -30,8 +38,9 @@ def load(path: Path) -> dict:
     for key in ("benchmark", "mem_ops_per_sec"):
         if key not in data:
             sys.exit(f"perf_gate: {path} is missing '{key}'")
-    if data["mem_ops_per_sec"] <= 0:
-        sys.exit(f"perf_gate: {path} reports non-positive throughput")
+    for key in throughput_keys(data):
+        if data[key] <= 0:
+            sys.exit(f"perf_gate: {path} reports non-positive {key}")
     return data
 
 
@@ -60,20 +69,28 @@ def main() -> int:
         sys.exit("perf_gate: benchmark name mismatch "
                  f"({baseline['benchmark']} vs {current['benchmark']})")
 
-    base = baseline["mem_ops_per_sec"]
-    cur = current["mem_ops_per_sec"]
-    change = (cur - base) / base
-    floor = base * (1.0 - args.tolerance)
-
-    print(f"perf_gate: mem_ops_per_sec baseline {base:.0f}, "
-          f"current {cur:.0f} ({change:+.1%}, floor {floor:.0f})")
+    failed = []
+    for key in sorted(set(throughput_keys(baseline))
+                      | set(throughput_keys(current))):
+        if key not in baseline or key not in current:
+            where = "baseline" if key in baseline else "current"
+            print(f"perf_gate: {key} only in {where} — not gated")
+            continue
+        base = baseline[key]
+        cur = current[key]
+        change = (cur - base) / base
+        floor = base * (1.0 - args.tolerance)
+        print(f"perf_gate: {key} baseline {base:.0f}, "
+              f"current {cur:.0f} ({change:+.1%}, floor {floor:.0f})")
+        if cur < floor:
+            failed.append(key)
     for extra in ("sweep_wall_seconds", "sweep_threads"):
         if extra in baseline and extra in current:
             print(f"perf_gate: {extra}: baseline {baseline[extra]}, "
                   f"current {current[extra]} (informational)")
 
-    if cur < floor:
-        print(f"perf_gate: FAIL — throughput regressed more than "
+    if failed:
+        print(f"perf_gate: FAIL — {', '.join(failed)} regressed more than "
               f"{args.tolerance:.0%}. If intentional, re-bless with "
               f"--update.", file=sys.stderr)
         return 1

@@ -106,6 +106,16 @@ void StatSet::hsample(const std::string& name, double value,
   it->second.add(value);
 }
 
+Histogram& StatSet::histogram_ref(const std::string& name,
+                                  std::size_t num_buckets,
+                                  double bucket_width) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, Histogram(num_buckets, bucket_width)).first;
+  }
+  return it->second;
+}
+
 const Histogram& StatSet::histogram(const std::string& name) const {
   static const Histogram kEmpty(1, 1.0);
   const auto it = hists_.find(name);

@@ -85,6 +85,20 @@ class StatSet {
   void hsample(const std::string& name, double value,
                std::size_t num_buckets = 256, double bucket_width = 8.0);
 
+  /// Stable reference to the named counter (created at zero on first use).
+  /// Hot paths resolve the handle once and bump through it afterwards,
+  /// skipping the string-keyed map lookup per event; std::map nodes never
+  /// move, so the reference stays valid until clear().
+  std::uint64_t& counter_ref(const std::string& name) { return counters_[name]; }
+
+  /// Stable reference to the named distribution (created on first use).
+  Distribution& distribution_ref(const std::string& name) { return dists_[name]; }
+
+  /// Stable reference to the named histogram, created with the given shape
+  /// on first use (later calls ignore the shape arguments, like hsample).
+  Histogram& histogram_ref(const std::string& name, std::size_t num_buckets = 256,
+                           double bucket_width = 8.0);
+
   /// Returns counter value, or 0 if absent.
   std::uint64_t counter(const std::string& name) const;
 

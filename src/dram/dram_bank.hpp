@@ -33,6 +33,13 @@ class DramBank final : public nvm::Bank {
 
   bool segments_sensed(const mem::DecodedAddr& a) const override;
   bool row_open(const mem::DecodedAddr& a) const override;
+  std::uint64_t open_row_of(std::uint64_t sag) const override {
+    return subs_[sag].open_row;
+  }
+  // pure_timing() stays false: refresh_clear() advances mutable refresh
+  // bookkeeping as queries cross tREFI deadlines, so earliest_* results do
+  // not time-shift — the scheduler recomputes this bank's candidates at the
+  // querying cycle instead of caching them.
   Cycle earliest_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
                           Cycle now, std::uint64_t extra_cds = 0) const override;
   Cycle earliest_column(const mem::DecodedAddr& a, OpType op,

@@ -16,6 +16,8 @@ struct MemRequest {
   Cycle completion = kNeverCycle;  // cycle data returned / write retired
   std::uint64_t cpu_tag = 0;  // opaque tag for the CPU model (ROB slot etc.)
   bool bus_blocked = false;  // column issue was ever delayed by bus contention
+  std::uint64_t sched_seq = 0;  // controller arrival stamp; total order used
+                                // by the indexed scheduler ("older" == lower)
 
   bool is_read() const { return op == OpType::kRead; }
   bool is_write() const { return op == OpType::kWrite; }

@@ -55,6 +55,21 @@ class Bank {
   /// selected), regardless of which segments are sensed.
   virtual bool row_open(const mem::DecodedAddr& a) const = 0;
 
+  /// Open row index of `sag` (kInvalidAddr if none). Lets the scheduler's
+  /// per-(bank, row) index enumerate column-ready candidates without
+  /// scanning the whole queue. Must agree with row_open: row_open(a) iff
+  /// open_row_of(a.sag) == a.row.
+  virtual std::uint64_t open_row_of(std::uint64_t sag) const = 0;
+
+  /// True when the earliest_* queries are pure functions of the committed
+  /// command history: earliest(a, t') == max(earliest(a, t), t') for any
+  /// t' >= t with no issue_*/close_row in between. The scheduler caches
+  /// next-event candidates of such banks and invalidates them only when a
+  /// command commits. Banks with hidden time-driven state (DRAM refresh
+  /// schedules stack deadlines as queries advance) must return false and
+  /// are recomputed at the querying cycle instead.
+  virtual bool pure_timing() const { return false; }
+
   /// Earliest cycle >= now at which an activation serving `a` can begin.
   /// `extra_cds` is a CD bitmask the scheduler wants sensed in the same
   /// activation (demand aggregation across queued requests to the same

@@ -32,6 +32,10 @@ class FgNvmBank final : public Bank {
 
   bool segments_sensed(const mem::DecodedAddr& a) const override;
   bool row_open(const mem::DecodedAddr& a) const override;
+  std::uint64_t open_row_of(std::uint64_t sag) const override {
+    return open_row(sag);
+  }
+  bool pure_timing() const override { return true; }
   Cycle earliest_activate(const mem::DecodedAddr& a, ActPurpose p, Cycle now,
                           std::uint64_t extra_cds = 0) const override;
   Cycle earliest_column(const mem::DecodedAddr& a, OpType op,

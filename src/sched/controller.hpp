@@ -12,6 +12,15 @@
 //
 // Multi-Issue (Figure 4) is modeled by `issue_width` commands per cycle and
 // `bus_lanes` parallel data-bus lanes.
+//
+// Scheduling is index-driven (DESIGN.md §8): requests live in stable slots
+// threaded with per-(bank, SAG) and per-(bank, row) intrusive lists
+// (RequestIndex), issue selection walks only eligible group heads /
+// open-row lists, and next_event() serves cached per-bank candidates that
+// are recomputed only for banks whose state changed since the last query.
+// The pre-index full-queue scans are kept as a reference oracle: with
+// cross-checking on (FGNVM_PARANOID, or set_cross_check), every issue
+// decision and next_event value is recomputed both ways and compared.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,7 @@
 #include "mem/timing.hpp"
 #include "nvm/bank.hpp"
 #include "obs/observer.hpp"
+#include "sched/request_index.hpp"
 #include "sched/write_queue.hpp"
 
 namespace fgnvm::sched {
@@ -105,7 +115,14 @@ class Controller {
   const mem::DataBus& bus() const { return bus_; }
   const WriteQueue& write_queue() const { return writes_; }
   const StatSet& stats() const { return stats_; }
-  std::uint64_t pending_reads() const { return reads_.size(); }
+  std::uint64_t pending_reads() const { return ridx_.size(); }
+
+  /// Enables the reference-oracle cross-check: every issue decision and
+  /// next_event value is recomputed with the pre-index full-queue scans and
+  /// compared (throws std::runtime_error on divergence). Also switched on
+  /// by the FGNVM_PARANOID environment variable at construction.
+  void set_cross_check(bool on) { cross_check_ = on; }
+  bool cross_check() const { return cross_check_; }
 
   /// Attaches a request-trace collector (fgnvm::obs). Null (the default)
   /// disables collection: the hot paths then take one pointer test per hook
@@ -117,27 +134,66 @@ class Controller {
   void sample_obs(Cycle now, obs::ChannelSample& s) const;
 
  private:
-  struct PendingRead {
+  struct ReadSlot {
     mem::MemRequest req;
+    bool live = false;
   };
   struct InFlight {
     mem::MemRequest req;
     Cycle done;
   };
+  /// Outcome of a read-activate selection: the winning slot (or -1) and the
+  /// demand-aggregated CD mask the ACT must sense.
+  struct ActPick {
+    std::int32_t slot = -1;
+    std::uint64_t extra_cds = 0;
+  };
+  /// Outcome of a write selection: the winning write-queue slot (or -1) and
+  /// whether it issues an ACT (vs. the column/data phase).
+  struct WritePick {
+    std::int32_t slot = -1;
+    bool activate = false;
+  };
+  /// Cached per-bank next-event candidates (DESIGN.md §8). Minima are
+  /// computed with a query time of 0 for pure_timing() banks (so they are
+  /// valid at any later cycle, clamped at query time) and at the actual
+  /// querying cycle otherwise. Flagged/plain split the sticky bus_blocked
+  /// populations: only flagged candidates fold in bus availability, which
+  /// is a query-time global and therefore distributes over the min.
+  struct BankCand {
+    Cycle read_col_plain = kNeverCycle;
+    Cycle read_col_flagged = kNeverCycle;
+    Cycle read_act = kNeverCycle;
+    Cycle write_plain = kNeverCycle;
+    Cycle write_flagged = kNeverCycle;
+    Cycle write_bg_plain = kNeverCycle;    // guard folded per write
+    Cycle write_bg_flagged = kNeverCycle;
+  };
+  /// Lazily resolved stat handle: the counter is created on first bump so
+  /// the stat-set shape stays identical to the string-keyed original (a
+  /// counter that never fires must stay absent from reports).
+  struct CounterHandle {
+    std::uint64_t* value = nullptr;
+  };
 
   nvm::Bank& bank_of(const mem::DecodedAddr& a);
   const nvm::Bank& bank_of(const mem::DecodedAddr& a) const;
-  std::uint64_t sag_group(const mem::DecodedAddr& a) const;
-
-  /// Allocation-free oldest-per-(bank,SAG) tracking for the queue walks:
-  /// begin_group_scan() opens a fresh scan, first_in_group(g) is true exactly
-  /// once per group per scan. Epoch-stamped so no clearing is ever needed.
-  void begin_group_scan() const { ++group_scan_; }
-  bool first_in_group(std::uint64_t g) const {
-    if (group_stamp_[g] == group_scan_) return false;
-    group_stamp_[g] = group_scan_;
-    return true;
+  std::uint64_t bank_linear(const mem::DecodedAddr& a) const {
+    return a.rank * geo_.banks_per_rank + a.bank;
   }
+  std::uint64_t sag_group(const mem::DecodedAddr& a) const;
+  void bump(CounterHandle& h, const char* name, std::uint64_t delta = 1) {
+    if (!h.value) h.value = &stats_.counter_ref(name);
+    *h.value += delta;
+  }
+  void mark_bank_dirty(std::uint64_t bank) const {
+    bank_dirty_[bank] = 1;
+    global_valid_ = false;
+  }
+  void refresh_global() const;
+
+  std::int32_t alloc_read_slot();
+  void free_read_slot(std::int32_t slot);
 
   /// One issue slot; returns true if a command was issued. `write_done`
   /// tracks whether a write command already issued this cycle — a 150 ns+
@@ -147,7 +203,37 @@ class Controller {
   bool try_issue_read_column(Cycle now);
   bool try_issue_read_activate(Cycle now);
   bool try_issue_write(Cycle now, bool background_only);
+
+  // ---- indexed issue selection (side-effect free; commit happens in the
+  // try_issue_* wrappers after the optional oracle comparison) ------------
+  std::int32_t select_read_column_indexed(
+      Cycle now, std::vector<std::int32_t>& to_flag) const;
+  ActPick select_read_activate_indexed(Cycle now) const;
+  WritePick select_write_indexed(Cycle now, bool background_only,
+                                 std::vector<std::int32_t>& to_flag) const;
+  Cycle next_event_indexed(Cycle now) const;
+  void recompute_bank_cand(std::uint64_t bank, Cycle tq) const;
   bool write_conflicts_with_reads(const mem::DecodedAddr& w) const;
+
+  // ---- reference oracle: the pre-index O(queue) scans, preserved verbatim
+  // over the global FIFO lists. FCFS read selection keeps inherently
+  // arrival-ordered early-exit semantics, so it runs on these directly. ---
+  std::int32_t select_read_column_reference(
+      Cycle now, std::vector<std::int32_t>& to_flag) const;
+  ActPick select_read_activate_reference(Cycle now) const;
+  WritePick select_write_reference(Cycle now, bool background_only,
+                                   std::vector<std::int32_t>& to_flag) const;
+  Cycle next_event_reference(Cycle now) const;
+  bool write_conflicts_with_reads_reference(const mem::DecodedAddr& w) const;
+  void verify_pick(const char* what, bool same_pick,
+                   std::vector<std::int32_t>& flags,
+                   std::vector<std::int32_t>& ref_flags) const;
+
+  /// Applies the sticky bus_blocked flags a selection produced, dirtying
+  /// the affected banks on false -> true transitions.
+  void apply_read_flags(const std::vector<std::int32_t>& slots);
+  void apply_write_flags(const std::vector<std::int32_t>& slots);
+
   /// End-of-tick classification of why each still-queued request did not
   /// issue this cycle; feeds the obs collector (obs_ != nullptr only).
   void observe_blocking(Cycle now);
@@ -161,18 +247,57 @@ class Controller {
 
   std::vector<std::unique_ptr<nvm::Bank>> banks_;
   mem::DataBus bus_;
-  std::vector<PendingRead> reads_;  // FIFO arrival order
+
+  // Queued reads: stable slot pool (sized once, never reallocates — slot
+  // indices and references stay valid for a request's lifetime) plus the
+  // group/row index. Arrival order lives in the index's global FIFO list.
+  std::vector<ReadSlot> rpool_;
+  std::vector<std::int32_t> rfree_;
+  const ReadSlot* rpool_base_ = nullptr;  // reallocation guard (assert only)
+  RequestIndex ridx_;
+
   WriteQueue writes_;
+  RequestIndex widx_;  // queued writes, keyed by WriteQueue slot index
+
   std::vector<InFlight> inflight_reads_;   // column issued, burst pending
   std::vector<mem::MemRequest> completed_;
   Cycle last_read_activity_ = 0;  // last read enqueue/issue (drain gating)
   std::vector<Cycle> sag_last_read_;  // per (bank, SAG): last read touch
   std::vector<Cycle> write_done_times_;  // in-flight write completions
-  mutable std::vector<std::uint64_t> group_stamp_;  // see first_in_group
-  mutable std::uint64_t group_scan_ = 0;
+  std::uint64_t seq_counter_ = 0;  // sched_seq stamp (arrival total order)
+
+  // next_event candidate cache (mutable: refreshed inside const queries).
+  mutable std::vector<BankCand> bank_cand_;
+  mutable std::vector<std::uint8_t> bank_dirty_;
+  std::vector<std::uint8_t> bank_pure_;  // pure_timing(), fixed at build
+  bool all_pure_ = false;                // every bank is pure_timing()
+  // Fold of bank_cand_ over all banks, valid while no bank has been dirtied
+  // since the fold (only ever valid when all_pure_). Lets the selectors
+  // prove "nothing issuable, nothing to flag" in O(1) without touching a
+  // single group.
+  mutable BankCand global_cand_;
+  mutable bool global_valid_ = false;
+
+  bool cross_check_ = false;
+
+  // Scratch vectors for the selection paths (members so the hot paths stay
+  // allocation-free after warm-up).
+  mutable std::vector<std::int32_t> scratch_flags_;
+  mutable std::vector<std::int32_t> scratch_ref_flags_;
+  mutable std::vector<std::int32_t> scratch_cands_;
+
   obs::ChannelCollector* obs_ = nullptr;  // request tracing; null = disabled
 
   StatSet stats_;
+
+  // Cached hot-path stat handles (see CounterHandle).
+  CounterHandle h_reads_accepted_, h_reads_forwarded_, h_reads_row_hit_;
+  CounterHandle h_writes_accepted_, h_writes_coalesced_;
+  CounterHandle h_cmd_read_, h_cmd_act_read_, h_cmd_act_write_;
+  CounterHandle h_cmd_write_, h_cmd_write_bg_, h_cmd_write_drain_;
+  CounterHandle h_cmd_close_row_, h_bus_col_conflicts_;
+  Distribution* d_read_latency_ = nullptr;
+  Histogram* h_read_latency_hist_ = nullptr;
 };
 
 }  // namespace fgnvm::sched

@@ -1,0 +1,328 @@
+// Intrusive slot-based request indexing for the scheduler hot paths.
+//
+// The controller keeps queued requests in stable slots (read pool /
+// write-queue slots) and this index threads three doubly-linked lists
+// through them, all in arrival (FIFO) order:
+//
+//  * a global queue list — the pre-index `reads_` vector walk;
+//  * a per-(bank, SAG) group list — so "oldest per group" is the group
+//    head, with no epoch-stamped scan machinery;
+//  * a per-(bank, row) list (hash-indexed) — so demand-aggregated partial
+//    activation and obs ACT-stamping visit only same-row requests.
+//
+// On top of the lists it maintains the aggregate occupancy the scheduler
+// needs in O(1): per-bank request counts, per-(bank, CD) interval counts
+// with a derived per-bank CD bitmask (write/read conflict tests), and
+// swap-removable vectors of the currently non-empty groups (global and
+// per-bank) so issue selection touches only eligible groups.
+//
+// Invariants (see DESIGN.md §8):
+//  * every list preserves arrival order: head == oldest == min sched_seq;
+//  * a group is listed in active_groups()/active_groups_of_bank() iff its
+//    count > 0; a (bank, row) key is present iff its list is non-empty;
+//  * cd_mask(bank) has bit c set iff some member of `bank` covers CD c.
+//
+// All operations are O(1) except the (bank, row) hash probe, which hits a
+// flat linear-probing table sized at init() to keep the load factor ≤ 1/4
+// (at most one distinct row per occupied slot) — no allocation ever happens
+// after init().
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/geometry.hpp"
+
+namespace fgnvm::sched {
+
+class RequestIndex {
+ public:
+  RequestIndex() = default;
+
+  /// `slot_cap` bounds the slot ids ever inserted; `num_banks` is the
+  /// rank-major bank count of the channel.
+  void init(std::uint64_t slot_cap, std::uint64_t num_banks,
+            std::uint64_t num_sags, std::uint64_t num_cds) {
+    num_sags_ = num_sags;
+    num_cds_ = num_cds;
+    links_.assign(slot_cap, Links{});
+    groups_.assign(num_banks * num_sags, Group{});
+    active_all_.clear();
+    active_all_.reserve(groups_.size());
+    active_bank_.assign(num_banks, {});
+    for (auto& v : active_bank_) v.reserve(num_sags);
+    bank_count_.assign(num_banks, 0);
+    cd_count_.assign(num_banks * num_cds, 0);
+    cd_mask_.assign(num_banks, 0);
+    std::uint64_t buckets = 4;
+    while (buckets < 4 * slot_cap) buckets <<= 1;
+    rows_.assign(buckets, RowEntry{});
+    row_mask_ = buckets - 1;
+    qhead_ = qtail_ = -1;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::uint64_t size() const { return size_; }
+
+  void insert(std::int32_t slot, std::uint64_t bank,
+              const mem::DecodedAddr& a) {
+    Links& l = links_[static_cast<std::size_t>(slot)];
+    l.qprev = qtail_;
+    l.qnext = -1;
+    if (qtail_ >= 0) {
+      links_[static_cast<std::size_t>(qtail_)].qnext = slot;
+    } else {
+      qhead_ = slot;
+    }
+    qtail_ = slot;
+    ++size_;
+
+    const std::uint64_t g = bank * num_sags_ + a.sag;
+    Group& grp = groups_[g];
+    l.gprev = grp.tail;
+    l.gnext = -1;
+    if (grp.tail >= 0) {
+      links_[static_cast<std::size_t>(grp.tail)].gnext = slot;
+    } else {
+      grp.head = slot;
+    }
+    grp.tail = slot;
+    if (grp.count++ == 0) activate_group(g, bank);
+
+    RowEntry& row = row_find_or_insert(row_key(bank, a.row));
+    l.rprev = row.tail;
+    l.rnext = -1;
+    if (row.tail >= 0) {
+      links_[static_cast<std::size_t>(row.tail)].rnext = slot;
+    } else {
+      row.head = slot;
+    }
+    row.tail = slot;
+    ++row.count;
+
+    ++bank_count_[bank];
+    for (std::uint64_t i = 0; i < a.cd_count; ++i) {
+      const std::uint64_t c = bank * num_cds_ + a.cd + i;
+      if (cd_count_[c]++ == 0) cd_mask_[bank] |= 1ULL << (a.cd + i);
+    }
+  }
+
+  void remove(std::int32_t slot, std::uint64_t bank,
+              const mem::DecodedAddr& a) {
+    Links& l = links_[static_cast<std::size_t>(slot)];
+    if (l.qprev >= 0) {
+      links_[static_cast<std::size_t>(l.qprev)].qnext = l.qnext;
+    } else {
+      qhead_ = l.qnext;
+    }
+    if (l.qnext >= 0) {
+      links_[static_cast<std::size_t>(l.qnext)].qprev = l.qprev;
+    } else {
+      qtail_ = l.qprev;
+    }
+    --size_;
+
+    const std::uint64_t g = bank * num_sags_ + a.sag;
+    Group& grp = groups_[g];
+    if (l.gprev >= 0) {
+      links_[static_cast<std::size_t>(l.gprev)].gnext = l.gnext;
+    } else {
+      grp.head = l.gnext;
+    }
+    if (l.gnext >= 0) {
+      links_[static_cast<std::size_t>(l.gnext)].gprev = l.gprev;
+    } else {
+      grp.tail = l.gprev;
+    }
+    if (--grp.count == 0) deactivate_group(g, bank);
+
+    const std::uint64_t rk = row_key(bank, a.row);
+    const std::uint64_t ri = row_find(rk);
+    assert(ri != kNoBucket);
+    RowEntry& row = rows_[ri];
+    if (l.rprev >= 0) {
+      links_[static_cast<std::size_t>(l.rprev)].rnext = l.rnext;
+    } else {
+      row.head = l.rnext;
+    }
+    if (l.rnext >= 0) {
+      links_[static_cast<std::size_t>(l.rnext)].rprev = l.rprev;
+    } else {
+      row.tail = l.rprev;
+    }
+    if (--row.count == 0) row_erase(ri);
+
+    --bank_count_[bank];
+    for (std::uint64_t i = 0; i < a.cd_count; ++i) {
+      const std::uint64_t c = bank * num_cds_ + a.cd + i;
+      if (--cd_count_[c] == 0) cd_mask_[bank] &= ~(1ULL << (a.cd + i));
+    }
+    l = Links{};
+  }
+
+  // ---- global FIFO ------------------------------------------------------
+  std::int32_t queue_head() const { return qhead_; }
+  std::int32_t queue_next(std::int32_t slot) const {
+    return links_[static_cast<std::size_t>(slot)].qnext;
+  }
+
+  // ---- per-(bank, SAG) groups ------------------------------------------
+  std::int32_t group_head(std::uint64_t group) const {
+    return groups_[group].head;
+  }
+  std::uint64_t group_count(std::uint64_t group) const {
+    return groups_[group].count;
+  }
+  /// True iff `slot` is the oldest member of its (bank, SAG) group —
+  /// exactly the requests the pre-index epoch-stamped scan called
+  /// "first in group".
+  bool is_group_head(std::int32_t slot) const {
+    return links_[static_cast<std::size_t>(slot)].gprev < 0;
+  }
+  /// Global group ids (bank * num_sags + sag) with at least one member.
+  /// Unordered — callers needing arrival order sort by sched_seq.
+  const std::vector<std::uint32_t>& active_groups() const {
+    return active_all_;
+  }
+  const std::vector<std::uint32_t>& active_groups_of_bank(
+      std::uint64_t bank) const {
+    return active_bank_[bank];
+  }
+
+  // ---- per-(bank, row) lists -------------------------------------------
+  std::int32_t row_head(std::uint64_t bank, std::uint64_t row) const {
+    const std::uint64_t i = row_find(row_key(bank, row));
+    return i == kNoBucket ? -1 : rows_[i].head;
+  }
+  std::int32_t row_next(std::int32_t slot) const {
+    return links_[static_cast<std::size_t>(slot)].rnext;
+  }
+  std::uint64_t row_count(std::uint64_t bank, std::uint64_t row) const {
+    const std::uint64_t i = row_find(row_key(bank, row));
+    return i == kNoBucket ? 0 : rows_[i].count;
+  }
+
+  // ---- aggregates -------------------------------------------------------
+  std::uint64_t bank_count(std::uint64_t bank) const {
+    return bank_count_[bank];
+  }
+  std::uint64_t cd_mask(std::uint64_t bank) const { return cd_mask_[bank]; }
+  /// True iff any member of `bank` covers a CD in [cd, cd + cd_count).
+  bool cd_overlap(std::uint64_t bank, std::uint64_t cd,
+                  std::uint64_t cd_count) const {
+    const std::uint64_t span =
+        cd_count >= 64 ? ~0ULL : ((1ULL << cd_count) - 1) << cd;
+    return (cd_mask_[bank] & span) != 0;
+  }
+
+ private:
+  struct Links {
+    std::int32_t qprev = -1, qnext = -1;  // global FIFO
+    std::int32_t gprev = -1, gnext = -1;  // (bank, SAG) FIFO
+    std::int32_t rprev = -1, rnext = -1;  // (bank, row) FIFO
+  };
+  struct Group {
+    std::int32_t head = -1, tail = -1;
+    std::uint32_t count = 0;
+    std::int32_t pos_all = -1, pos_bank = -1;  // active-vector positions
+  };
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::uint64_t kNoBucket = ~0ULL;
+  /// One (bank, row) list in the flat linear-probing table. kEmptyKey marks
+  /// a vacant bucket; valid keys never collide with it (bank and row counts
+  /// are far below the 2^24 / 2^40 split).
+  struct RowEntry {
+    std::uint64_t key = kEmptyKey;
+    std::int32_t head = -1, tail = -1;
+    std::uint32_t count = 0;
+  };
+
+  static std::uint64_t row_key(std::uint64_t bank, std::uint64_t row) {
+    return (bank << 40) ^ row;  // rows_per_bank is far below 2^40
+  }
+
+  std::uint64_t row_bucket(std::uint64_t key) const {
+    // splitmix64 finalizer: cheap, well-mixed for sequential row numbers.
+    std::uint64_t x = key;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return (x ^ (x >> 31)) & row_mask_;
+  }
+
+  std::uint64_t row_find(std::uint64_t key) const {
+    for (std::uint64_t i = row_bucket(key);; i = (i + 1) & row_mask_) {
+      if (rows_[i].key == key) return i;
+      if (rows_[i].key == kEmptyKey) return kNoBucket;
+    }
+  }
+
+  RowEntry& row_find_or_insert(std::uint64_t key) {
+    assert(key != kEmptyKey);
+    for (std::uint64_t i = row_bucket(key);; i = (i + 1) & row_mask_) {
+      if (rows_[i].key == key) return rows_[i];
+      if (rows_[i].key == kEmptyKey) {
+        rows_[i].key = key;
+        return rows_[i];
+      }
+    }
+  }
+
+  /// Standard open-addressing deletion: vacate the bucket, then re-place
+  /// any cluster member that probing can no longer reach through the hole.
+  void row_erase(std::uint64_t i) {
+    rows_[i] = RowEntry{};
+    for (std::uint64_t j = (i + 1) & row_mask_; rows_[j].key != kEmptyKey;
+         j = (j + 1) & row_mask_) {
+      const std::uint64_t home = row_bucket(rows_[j].key);
+      const bool reachable =
+          i <= j ? (home > i && home <= j) : (home > i || home <= j);
+      if (!reachable) {
+        rows_[i] = rows_[j];
+        rows_[j] = RowEntry{};
+        i = j;
+      }
+    }
+  }
+
+  void activate_group(std::uint64_t g, std::uint64_t bank) {
+    Group& grp = groups_[g];
+    grp.pos_all = static_cast<std::int32_t>(active_all_.size());
+    active_all_.push_back(static_cast<std::uint32_t>(g));
+    auto& per_bank = active_bank_[bank];
+    grp.pos_bank = static_cast<std::int32_t>(per_bank.size());
+    per_bank.push_back(static_cast<std::uint32_t>(g));
+  }
+
+  void deactivate_group(std::uint64_t g, std::uint64_t bank) {
+    Group& grp = groups_[g];
+    const std::uint32_t last_all = active_all_.back();
+    active_all_[static_cast<std::size_t>(grp.pos_all)] = last_all;
+    groups_[last_all].pos_all = grp.pos_all;
+    active_all_.pop_back();
+    auto& per_bank = active_bank_[bank];
+    const std::uint32_t last_bank = per_bank.back();
+    per_bank[static_cast<std::size_t>(grp.pos_bank)] = last_bank;
+    groups_[last_bank].pos_bank = grp.pos_bank;
+    per_bank.pop_back();
+    grp.pos_all = grp.pos_bank = -1;
+  }
+
+  std::uint64_t num_sags_ = 1;
+  std::uint64_t num_cds_ = 1;
+  std::vector<Links> links_;
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> active_all_;
+  std::vector<std::vector<std::uint32_t>> active_bank_;
+  std::vector<RowEntry> rows_;
+  std::uint64_t row_mask_ = 0;
+  std::vector<std::uint64_t> bank_count_;
+  std::vector<std::uint32_t> cd_count_;  // bank * num_cds + cd
+  std::vector<std::uint64_t> cd_mask_;   // per bank
+  std::int32_t qhead_ = -1, qtail_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace fgnvm::sched

@@ -1,6 +1,5 @@
 #include "sched/write_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "common/bitutil.hpp"
@@ -16,46 +15,82 @@ WriteQueue::WriteQueue(std::uint64_t capacity, std::uint64_t high,
   if (!is_pow2(line_bytes_)) {
     throw std::invalid_argument("WriteQueue: line_bytes must be a power of 2");
   }
+  // The pool is fully sized up front: slots never move or reallocate, so
+  // the controller may hold slot indices across the request's lifetime.
+  slots_.resize(capacity_);
+  free_.reserve(capacity_);
+  for (std::uint64_t i = 0; i < capacity_; ++i) {
+    free_.push_back(static_cast<std::int32_t>(capacity_ - 1 - i));
+  }
+  by_line_.reserve(2 * capacity_ + 1);
 }
 
-bool WriteQueue::add(const mem::MemRequest& req) {
+std::int32_t WriteQueue::add_slot(const mem::MemRequest& req) {
   const Addr line = line_of(req.addr.addr);
-  for (auto& e : entries_) {
-    if (line_of(e.addr.addr) == line) {
-      ++coalesced_;
-      return true;
-    }
+  if (by_line_.find(line) != by_line_.end()) {
+    ++coalesced_;
+    return -1;
   }
   if (full()) throw std::runtime_error("WriteQueue::add on full queue");
-  entries_.push_back(req);
-  return false;
-}
-
-bool WriteQueue::covers(Addr line_addr) const {
-  const Addr line = line_of(line_addr);
-  return std::any_of(
-      entries_.begin(), entries_.end(),
-      [&](const mem::MemRequest& e) { return line_of(e.addr.addr) == line; });
+  const std::int32_t slot = free_.back();
+  free_.pop_back();
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.req = req;
+  s.prev = tail_;
+  s.next = -1;
+  s.live = true;
+  if (tail_ >= 0) {
+    slots_[static_cast<std::size_t>(tail_)].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  by_line_.emplace(line, slot);
+  ++size_;
+  return slot;
 }
 
 bool WriteQueue::update_drain() {
-  if (!draining_ && entries_.size() >= high_) {
+  if (!draining_ && size_ >= high_) {
     draining_ = true;
     ++drains_started_;
-  } else if (draining_ && entries_.size() <= low_) {
+  } else if (draining_ && size_ <= low_) {
     draining_ = false;
   }
   return draining_;
 }
 
-void WriteQueue::remove(RequestId id) {
-  const auto it =
-      std::find_if(entries_.begin(), entries_.end(),
-                   [&](const mem::MemRequest& e) { return e.id == id; });
-  if (it == entries_.end()) {
-    throw std::runtime_error("WriteQueue::remove: id not found");
+void WriteQueue::remove_slot(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (!s.live) {
+    throw std::runtime_error("WriteQueue::remove_slot: slot not live");
   }
-  entries_.erase(it);
+  if (s.prev >= 0) {
+    slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next >= 0) {
+    slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  by_line_.erase(line_of(s.req.addr.addr));
+  s.live = false;
+  s.prev = s.next = -1;
+  free_.push_back(slot);
+  --size_;
+}
+
+void WriteQueue::remove(RequestId id) {
+  for (std::int32_t s = head_; s >= 0;
+       s = slots_[static_cast<std::size_t>(s)].next) {
+    if (slots_[static_cast<std::size_t>(s)].req.id == id) {
+      remove_slot(s);
+      return;
+    }
+  }
+  throw std::runtime_error("WriteQueue::remove: id not found");
 }
 
 }  // namespace fgnvm::sched

@@ -5,11 +5,17 @@
 // policy, as in conventional controllers) or issues them opportunistically
 // as Backgrounded Writes (augmented FRFCFS, Section 4). Reads that hit a
 // queued write are forwarded; duplicate writes to the same line coalesce.
+//
+// Storage is a stable slot pool (indices never move, so the controller's
+// RequestIndex can key its per-group/per-row lists by slot), an intrusive
+// FIFO list preserving arrival order, and a line-address hash map making
+// covers()/coalescing O(1) — the line map is exact because coalescing keeps
+// at most one entry per line.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mem/request.hpp"
@@ -24,38 +30,64 @@ class WriteQueue {
   WriteQueue(std::uint64_t capacity, std::uint64_t high, std::uint64_t low,
              std::uint64_t line_bytes = 64);
 
-  bool full() const { return entries_.size() >= capacity_; }
-  bool empty() const { return entries_.empty(); }
-  std::uint64_t size() const { return entries_.size(); }
+  bool full() const { return size_ >= capacity_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t size() const { return size_; }
   std::uint64_t capacity() const { return capacity_; }
 
   /// Adds a write, coalescing with an existing entry for the same line.
   /// Returns true if coalesced. Precondition: !full() unless it coalesces.
-  bool add(const mem::MemRequest& req);
+  bool add(const mem::MemRequest& req) { return add_slot(req) < 0; }
+
+  /// Slot-returning variant: the new entry's stable slot index, or -1 when
+  /// the write coalesced into an existing entry.
+  std::int32_t add_slot(const mem::MemRequest& req);
 
   /// True if a queued write covers this line address (read forwarding).
-  bool covers(Addr line_addr) const;
+  bool covers(Addr line_addr) const {
+    return by_line_.find(line_of(line_addr)) != by_line_.end();
+  }
 
   /// Updates drain state for the current occupancy; returns whether the
   /// controller should prioritize writes this cycle.
   bool update_drain();
   bool draining() const { return draining_; }
 
-  /// Access to pending writes in FIFO order.
-  const std::deque<mem::MemRequest>& entries() const { return entries_; }
+  /// FIFO iteration over stable slot indices: for (s = first(); s >= 0;
+  /// s = next(s)). Arrival order, unaffected by removals elsewhere.
+  std::int32_t first() const { return head_; }
+  std::int32_t next(std::int32_t slot) const {
+    return slots_[static_cast<std::size_t>(slot)].next;
+  }
+
+  const mem::MemRequest& at(std::int32_t slot) const {
+    return slots_[static_cast<std::size_t>(slot)].req;
+  }
 
   /// Mutable access for the controller's per-request scheduling bookkeeping
   /// (e.g. the bus_blocked flag); queue membership must not be changed
-  /// through this reference — use add()/remove().
-  std::deque<mem::MemRequest>& entries_mut() { return entries_; }
+  /// through this reference — use add()/remove_slot().
+  mem::MemRequest& at_mut(std::int32_t slot) {
+    return slots_[static_cast<std::size_t>(slot)].req;
+  }
 
-  /// Removes the entry with the given request id (after issue).
+  /// Removes the entry in `slot` (after issue).
+  void remove_slot(std::int32_t slot);
+
+  /// Removes the entry with the given request id; throws if absent.
   void remove(RequestId id);
 
   std::uint64_t coalesced() const { return coalesced_; }
   std::uint64_t drains_started() const { return drains_started_; }
 
  private:
+  struct Slot {
+    mem::MemRequest req;
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    bool live = false;
+  };
+
   Addr line_of(Addr addr) const { return addr & ~(line_bytes_ - 1); }
 
   std::uint64_t capacity_;
@@ -63,7 +95,11 @@ class WriteQueue {
   std::uint64_t low_;
   std::uint64_t line_bytes_;
   bool draining_ = false;
-  std::deque<mem::MemRequest> entries_;
+  std::vector<Slot> slots_;               // stable pool, sized to capacity
+  std::vector<std::int32_t> free_;        // free slot indices
+  std::unordered_map<Addr, std::int32_t> by_line_;  // line -> slot
+  std::int32_t head_ = -1, tail_ = -1;    // FIFO list
+  std::uint64_t size_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t drains_started_ = 0;
 };

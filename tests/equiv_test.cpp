@@ -3,9 +3,10 @@
 // The event-driven loops promise bit-identical results to the reference
 // cycle-by-cycle loops (DESIGN.md: next_event never overshoots). These
 // tests enforce the promise for every shipped preset configuration across
-// two contrasting workloads, for all three run entry points, using
-// diff_results — which compares every stat down to distribution moments
-// and histogram buckets with exact floating-point equality.
+// two contrasting workloads, for all three run entry points and all three
+// LoopModes (kAuto must match whichever loop it picks), using diff_results
+// — which compares every stat down to distribution moments and histogram
+// buckets with exact floating-point equality.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -58,14 +59,29 @@ class EquivTest : public ::testing::TestWithParam<std::string> {
   }
 };
 
+const sim::LoopMode kOtherModes[] = {sim::LoopMode::kEventSkip,
+                                     sim::LoopMode::kAuto};
+
+const char* mode_name(sim::LoopMode m) {
+  switch (m) {
+    case sim::LoopMode::kAuto: return "auto";
+    case sim::LoopMode::kCycleAccurate: return "cycle";
+    case sim::LoopMode::kEventSkip: return "event";
+  }
+  return "?";
+}
+
 TEST_P(EquivTest, RunWorkloadBitIdentical) {
   const sys::SystemConfig cfg = config();
   for (const trace::Trace& tr : workloads()) {
     const sim::RunResult cyc =
         sim::run_workload(tr, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
-    const sim::RunResult evt =
-        sim::run_workload(tr, cfg, {}, 500'000'000, sim::LoopMode::kEventSkip);
-    EXPECT_EQ(sim::diff_results(cyc, evt), "") << tr.name;
+    for (const sim::LoopMode mode : kOtherModes) {
+      const sim::RunResult other =
+          sim::run_workload(tr, cfg, {}, 500'000'000, mode);
+      EXPECT_EQ(sim::diff_results(cyc, other), "")
+          << tr.name << " vs " << mode_name(mode);
+    }
   }
 }
 
@@ -74,9 +90,12 @@ TEST_P(EquivTest, RunMemoryOnlyBitIdentical) {
   for (const trace::Trace& tr : workloads()) {
     const sim::RunResult cyc =
         sim::run_memory_only(tr, cfg, 500'000'000, sim::LoopMode::kCycleAccurate);
-    const sim::RunResult evt =
-        sim::run_memory_only(tr, cfg, 500'000'000, sim::LoopMode::kEventSkip);
-    EXPECT_EQ(sim::diff_results(cyc, evt), "") << tr.name;
+    for (const sim::LoopMode mode : kOtherModes) {
+      const sim::RunResult other =
+          sim::run_memory_only(tr, cfg, 500'000'000, mode);
+      EXPECT_EQ(sim::diff_results(cyc, other), "")
+          << tr.name << " vs " << mode_name(mode);
+    }
   }
 }
 
@@ -85,9 +104,11 @@ TEST_P(EquivTest, RunMultiprogrammedBitIdentical) {
   const std::vector<trace::Trace> traces = workloads();
   const sim::MultiProgramResult cyc = sim::run_multiprogrammed(
       traces, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
-  const sim::MultiProgramResult evt = sim::run_multiprogrammed(
-      traces, cfg, {}, 500'000'000, sim::LoopMode::kEventSkip);
-  EXPECT_EQ(sim::diff_results(cyc, evt), "");
+  for (const sim::LoopMode mode : kOtherModes) {
+    const sim::MultiProgramResult other = sim::run_multiprogrammed(
+        traces, cfg, {}, 500'000'000, mode);
+    EXPECT_EQ(sim::diff_results(cyc, other), "") << mode_name(mode);
+  }
 }
 
 std::vector<std::string> preset_names() {
