@@ -1,6 +1,7 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -17,12 +18,27 @@ namespace fgnvm::benchutil {
 
 /// Memory ops simulated per benchmark: argv[1] if given, else env
 /// FGNVM_BENCH_OPS, else `dflt`. Keeps `ctest`-style quick runs and full
-/// paper-scale runs in one binary.
+/// paper-scale runs in one binary. Rejects non-numeric, zero, or
+/// out-of-range counts with a usage message (exit 2) instead of letting
+/// std::stoull throw out of main.
 inline std::uint64_t ops_from_args(int argc, char** argv,
                                    std::uint64_t dflt = 30000) {
-  if (argc > 1) return std::stoull(argv[1]);
+  const auto parse = [&](const char* text, const char* what) -> std::uint64_t {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || v == 0) {
+      std::cerr << argv[0] << ": invalid " << what << " '" << text
+                << "' — expected a positive integer memory-op count\n"
+                << "usage: " << argv[0]
+                << " [ops] (or set FGNVM_BENCH_OPS=<ops>)\n";
+      std::exit(2);
+    }
+    return v;
+  };
+  if (argc > 1) return parse(argv[1], "ops argument");
   if (const char* env = std::getenv("FGNVM_BENCH_OPS")) {
-    return std::stoull(env);
+    return parse(env, "FGNVM_BENCH_OPS");
   }
   return dflt;
 }

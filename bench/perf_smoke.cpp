@@ -1,12 +1,15 @@
 // Performance smoke test with machine-readable output.
 //
-// Measures three throughput figures and writes them as JSON so CI and
+// Measures four throughput figures and writes them as JSON so CI and
 // regression tooling can track them without parsing tables:
 //  * end-to-end simulator throughput: simulated memory operations per
 //    wall-clock second for the milc workload on the 4x4 FgNVM config;
 //  * deep-queue throughput: memory-only mcf runs on an 8x8 FgNVM with
 //    64-entry read / 128-entry write queues — the regime that stresses the
 //    scheduler's issue-selection and next_event paths;
+//  * multi-channel throughput: the milc workload on the same 4x4 config
+//    widened to 4 channels (serial advance, run_threads=1) — tracks the
+//    per-channel due caches and the windowed channel advance;
 //  * sweep wall time: seconds for a SweepRunner sweep of all evaluation
 //    workloads through baseline + FgNVM 4x4.
 //
@@ -79,6 +82,28 @@ int main(int argc, char** argv) {
   const double deep_queue_mem_ops_per_sec =
       static_cast<double>(ops) * runs / deep_secs;
 
+  // Multi-channel throughput: the end-to-end workload spread over four
+  // channels, serial advance — time here is dominated by how cheaply the
+  // system skips not-due channels.
+  sys::SystemConfig mc_cfg = sys::fgnvm_config(4, 4);
+  mc_cfg.geometry.channels = 4;
+  mc_cfg.geometry.validate();
+  mc_cfg.run_threads = 1;
+  (void)sim::run_workload(tr, mc_cfg);  // warm-up
+  const auto tm = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = sim::run_workload(tr, mc_cfg);
+    if (r.reads + r.writes == 0 || r.instructions == 0) {
+      std::cerr << "perf_smoke: multi-channel run " << i
+                << " retired no memory ops — refusing to report throughput\n";
+      return 1;
+    }
+  }
+  const double mc_secs =
+      std::chrono::duration<double>(clock::now() - tm).count();
+  const double multi_channel_mem_ops_per_sec =
+      static_cast<double>(ops) * runs / mc_secs;
+
   // Sweep wall time: all evaluation workloads through baseline + FgNVM 4x4
   // on the thread pool (FGNVM_THREADS selects the width).
   sim::SweepRunner pool;
@@ -105,6 +130,8 @@ int main(int argc, char** argv) {
        << "  \"mem_ops_per_sec\": " << mem_ops_per_sec << ",\n"
        << "  \"deep_queue_mem_ops_per_sec\": " << deep_queue_mem_ops_per_sec
        << ",\n"
+       << "  \"multi_channel_mem_ops_per_sec\": "
+       << multi_channel_mem_ops_per_sec << ",\n"
        << "  \"sweep_workloads\": " << traces.size() << ",\n"
        << "  \"sweep_runs\": " << runs_out.size() * 2 << ",\n"
        << "  \"sweep_threads\": " << pool.threads() << ",\n"
@@ -116,6 +143,8 @@ int main(int argc, char** argv) {
             << " x " << ops << " ops)\n"
             << "deep-queue mem-ops/sec: " << deep_queue_mem_ops_per_sec
             << " (" << runs << " x " << ops << " ops, 8x8, 64-entry queues)\n"
+            << "multi-channel mem-ops/sec: " << multi_channel_mem_ops_per_sec
+            << " (" << runs << " x " << ops << " ops, 4 channels, serial)\n"
             << "sweep wall seconds: " << sweep_secs << " ("
             << runs_out.size() * 2 << " runs on " << pool.threads()
             << " threads)\n"

@@ -3,11 +3,12 @@
 
 Compares every throughput key (*_mem_ops_per_sec and mem_ops_per_sec) of a
 fresh BENCH_sim_throughput.json against the committed baseline and fails
-(exit 1) when any of them dropped by more than the tolerance. A throughput
-key present in only one of the two files is reported but not gated (so new
-scenarios can land together with their first baseline). Gains beyond the
-tolerance are reported but never fail the gate; run with --update to bless a
-new baseline after an intentional change.
+(exit 1) when any of them dropped by more than the tolerance. The two key
+sets must match exactly: a key present in only one file fails the gate with
+a message naming it, so a renamed or dropped scenario cannot silently stop
+being gated — when adding or removing a scenario, re-bless the baseline
+with --update in the same change. Gains beyond the tolerance are reported
+but never fail the gate.
 
 Usage:
     perf_gate.py --current BENCH_sim_throughput.json \
@@ -39,7 +40,10 @@ def load(path: Path) -> dict:
         if key not in data:
             sys.exit(f"perf_gate: {path} is missing '{key}'")
     for key in throughput_keys(data):
-        if data[key] <= 0:
+        value = data[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            sys.exit(f"perf_gate: {path} {key} is not a number: {value!r}")
+        if value <= 0:
             sys.exit(f"perf_gate: {path} reports non-positive {key}")
     return data
 
@@ -70,11 +74,15 @@ def main() -> int:
                  f"({baseline['benchmark']} vs {current['benchmark']})")
 
     failed = []
+    mismatched = []
     for key in sorted(set(throughput_keys(baseline))
                       | set(throughput_keys(current))):
         if key not in baseline or key not in current:
             where = "baseline" if key in baseline else "current"
-            print(f"perf_gate: {key} only in {where} — not gated")
+            missing = "current" if key in baseline else "baseline"
+            print(f"perf_gate: {key} present in {where} but missing from "
+                  f"{missing}", file=sys.stderr)
+            mismatched.append(key)
             continue
         base = baseline[key]
         cur = current[key]
@@ -89,6 +97,12 @@ def main() -> int:
             print(f"perf_gate: {extra}: baseline {baseline[extra]}, "
                   f"current {current[extra]} (informational)")
 
+    if mismatched:
+        print(f"perf_gate: FAIL — throughput key sets differ "
+              f"({', '.join(mismatched)}). If a scenario was added, renamed "
+              f"or removed intentionally, re-bless the baseline with "
+              f"--update in the same change.", file=sys.stderr)
+        return 1
     if failed:
         print(f"perf_gate: FAIL — {', '.join(failed)} regressed more than "
               f"{args.tolerance:.0%}. If intentional, re-bless with "

@@ -1,4 +1,4 @@
-#include "sim/sweep.hpp"
+#include "common/sweep.hpp"
 
 #include <cstdlib>
 #include <string>

@@ -23,7 +23,13 @@ RobCpu::RobCpu(const trace::Trace& trace, const CpuParams& params,
 
 void RobCpu::complete(const std::vector<mem::MemRequest>& done) {
   for (const mem::MemRequest& r : done) {
-    if (r.is_read() && r.cpu_tag == hart_) completed_.insert(r.id);
+    if (!r.is_read() || r.cpu_tag != hart_) continue;
+    // loads_ is sorted by request id (ids are allocated monotonically and
+    // submitted in program order), so the answered load is a binary search.
+    const auto it = std::lower_bound(
+        loads_.begin(), loads_.end(), r.id,
+        [](const PendingLoad& p, RequestId id) { return p.request < id; });
+    if (it != loads_.end() && it->request == r.id) it->answered = true;
   }
 }
 
@@ -38,8 +44,7 @@ double RobCpu::ipc() const {
 void RobCpu::do_retire() {
   // Instructions retire in order up to the commit width; the oldest
   // unanswered load fences retirement at its index.
-  while (!loads_.empty() && completed_.count(loads_.front().request)) {
-    completed_.erase(loads_.front().request);
+  while (!loads_.empty() && loads_.front().answered) {
     loads_.pop_front();
   }
   const std::uint64_t fence =
@@ -103,7 +108,7 @@ Cycle RobCpu::stalled_until(Cycle now) const {
   if (finished()) return now;
   // Retirement progresses if the oldest load was answered (the pop alone is
   // a state change) or instructions short of the fence remain unretired.
-  if (!loads_.empty() && completed_.count(loads_.front().request)) return now;
+  if (!loads_.empty() && loads_.front().answered) return now;
   const std::uint64_t fence =
       loads_.empty() ? fetched_ : loads_.front().inst_index;
   if (retired_ < std::min(fence, fetched_)) return now;
@@ -116,6 +121,20 @@ Cycle RobCpu::stalled_until(Cycle now) const {
     if (!mem_.can_accept(rec.addr, rec.op)) return kNeverCycle;
   }
   return now;
+}
+
+bool RobCpu::completion_stalled() const {
+  if (finished()) return false;
+  if (!loads_.empty() && loads_.front().answered) return false;
+  const std::uint64_t fence =
+      loads_.empty() ? fetched_ : loads_.front().inst_index;
+  if (retired_ < std::min(fence, fetched_)) return false;
+  // Retirement is fenced by an unanswered load (or there is nothing left to
+  // retire). Trace exhausted: only the fencing load's completion helps. ROB
+  // full: retirement (hence a completion) must free entries before fetch can
+  // resume. Backpressure is excluded — queue space frees on a channel tick.
+  if (fetched_ >= total_insts_) return true;
+  return fetched_ - retired_ >= params_.rob_entries;
 }
 
 void RobCpu::advance_stalled(Cycle mem_cycles) {

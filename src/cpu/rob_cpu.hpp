@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 
 #include "common/types.hpp"
 #include "sys/memory_system.hpp"
@@ -44,6 +43,16 @@ class RobCpu {
   /// Runs `cpu_per_mem_clock` core cycles; memory submissions are stamped
   /// with `mem_now`. No-op once finished.
   void tick_mem_cycle(Cycle mem_now);
+
+  /// True when the core is fully stalled (stalled_until == kNeverCycle) and
+  /// only a read completion can unstall it: retirement is fenced by an
+  /// unanswered load with the ROB full, or the trace is exhausted and
+  /// in-flight loads fence the remaining retirement. False for memory-queue
+  /// backpressure (queue space frees without a completion) and for any state
+  /// that can make progress. The windowed advance in the runner only spans
+  /// cores in this state — their stall classification cannot change before
+  /// the next completion.
+  bool completion_stalled() const;
 
   /// Event-skipping support. Returns `now` when tick_mem_cycle(now) would
   /// change architectural state (retire, fetch, or submit), and kNeverCycle
@@ -78,6 +87,7 @@ class RobCpu {
   struct PendingLoad {
     std::uint64_t inst_index;  // global index of the load instruction
     RequestId request;
+    bool answered = false;  // memory answered; retires when it reaches head
   };
 
   const trace::Trace& trace_;
@@ -94,8 +104,10 @@ class RobCpu {
   std::uint64_t fetch_stalls_ = 0;
   std::uint64_t backpressure_ = 0;
 
-  std::deque<PendingLoad> loads_;            // in program order
-  std::unordered_set<RequestId> completed_;  // answered but not yet retired
+  // In program order; request ids are strictly increasing (MemorySystem
+  // allocates ids from one monotonic counter), so complete() finds an
+  // answered load by binary search instead of a hash-set lookup.
+  std::deque<PendingLoad> loads_;
 };
 
 }  // namespace fgnvm::cpu

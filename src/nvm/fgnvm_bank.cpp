@@ -26,51 +26,6 @@ FgNvmBank::FgNvmBank(const mem::MemGeometry& geometry,
   }
 }
 
-std::uint64_t FgNvmBank::line_cds(const mem::DecodedAddr& a) const {
-  std::uint64_t mask = 0;
-  for (std::uint64_t i = 0; i < a.cd_count; ++i) mask |= 1ULL << (a.cd + i);
-  return mask;
-}
-
-std::uint64_t FgNvmBank::needed_cds(const mem::DecodedAddr& a,
-                                    std::uint64_t extra_cds) const {
-  if (!modes_.partial_activation) return all_cds_mask_;
-  return (line_cds(a) | extra_cds) & all_cds_mask_;
-}
-
-bool FgNvmBank::segments_sensed(const mem::DecodedAddr& a) const {
-  const SagState& s = sags_[a.sag];
-  if (s.open_row != a.row) return false;
-  const std::uint64_t need = line_cds(a);
-  return (s.sensed & need) == need;
-}
-
-bool FgNvmBank::row_open(const mem::DecodedAddr& a) const {
-  return sags_[a.sag].open_row == a.row;
-}
-
-Cycle FgNvmBank::earliest_activate(const mem::DecodedAddr& a, ActPurpose p,
-                                   Cycle now, std::uint64_t extra_cds) const {
-  const SagState& s = sags_[a.sag];
-  Cycle t = std::max(now, bank_lock_);
-  t = std::max(t, s.lock_until);
-  if (!modes_.multi_activation) t = std::max(t, global_act_lock_);
-  if (p == ActPurpose::kRead) {
-    // Sensing occupies the local bitline path of each needed CD; it cannot
-    // overlap other sensing or write driving in the same CD.
-    std::uint64_t cds = needed_cds(a, extra_cds);
-    // An ACT on the already-open row only needs to sense the missing CDs.
-    if (s.open_row == a.row) cds &= ~s.sensed;
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) {
-        t = std::max(t, cd_sense_lock_[cd]);
-        t = std::max(t, cd_write_lock_[cd]);
-      }
-    }
-  }
-  return t;
-}
-
 void FgNvmBank::issue_activate(const mem::DecodedAddr& a, ActPurpose p,
                                Cycle at, std::uint64_t extra_cds) {
   assert(at >= earliest_activate(a, p, at, extra_cds));
@@ -107,36 +62,6 @@ void FgNvmBank::issue_activate(const mem::DecodedAddr& a, ActPurpose p,
     // bitline occupancy beyond the SAG lock.
     ++stats_.acts_for_write;
   }
-}
-
-Cycle FgNvmBank::earliest_column(const mem::DecodedAddr& a, OpType op,
-                                 Cycle now) const {
-  const SagState& s = sags_[a.sag];
-  Cycle t = std::max(now, bank_lock_);
-  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
-
-  if (op == OpType::kRead) {
-    // Data must be latched; the SAG must not be mid-ACT or mid-write; the
-    // CD's I/O path must not be driven by a write.
-    t = std::max(t, s.sense_ready);
-    t = std::max(t, s.lock_until);
-    std::uint64_t cds = line_cds(a);
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) t = std::max(t, cd_write_lock_[cd]);
-    }
-  } else {
-    // Write driving needs the wordline (SAG) plus exclusive use of the CD
-    // bitline/IO path — it cannot overlap sensing *or* another write there.
-    t = std::max(t, s.lock_until);
-    std::uint64_t cds = line_cds(a);
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) {
-        t = std::max(t, cd_sense_lock_[cd]);
-        t = std::max(t, cd_write_lock_[cd]);
-      }
-    }
-  }
-  return t;
 }
 
 Cycle FgNvmBank::issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) {

@@ -18,6 +18,7 @@
 // all modes off: one row buffer, full-row sensing, serialized writes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,9 @@ class FgNvmBank final : public Bank {
   FgNvmBank(const mem::MemGeometry& geometry, const mem::TimingParams& timing,
             AccessModes modes);
 
+  // The scheduler's hot candidate probes are defined inline below the class
+  // so the statically-dispatched controller (sched::ControllerT<FgNvmBank>)
+  // can inline them into its selection loops across the library boundary.
   bool segments_sensed(const mem::DecodedAddr& a) const override;
   bool row_open(const mem::DecodedAddr& a) const override;
   std::uint64_t open_row_of(std::uint64_t sag) const override {
@@ -95,5 +99,81 @@ class FgNvmBank final : public Bank {
 
   BankStats stats_;
 };
+
+inline std::uint64_t FgNvmBank::line_cds(const mem::DecodedAddr& a) const {
+  std::uint64_t mask = 0;
+  for (std::uint64_t i = 0; i < a.cd_count; ++i) mask |= 1ULL << (a.cd + i);
+  return mask;
+}
+
+inline std::uint64_t FgNvmBank::needed_cds(const mem::DecodedAddr& a,
+                                           std::uint64_t extra_cds) const {
+  if (!modes_.partial_activation) return all_cds_mask_;
+  return (line_cds(a) | extra_cds) & all_cds_mask_;
+}
+
+inline bool FgNvmBank::segments_sensed(const mem::DecodedAddr& a) const {
+  const SagState& s = sags_[a.sag];
+  if (s.open_row != a.row) return false;
+  const std::uint64_t need = line_cds(a);
+  return (s.sensed & need) == need;
+}
+
+inline bool FgNvmBank::row_open(const mem::DecodedAddr& a) const {
+  return sags_[a.sag].open_row == a.row;
+}
+
+inline Cycle FgNvmBank::earliest_activate(const mem::DecodedAddr& a,
+                                          ActPurpose p, Cycle now,
+                                          std::uint64_t extra_cds) const {
+  const SagState& s = sags_[a.sag];
+  Cycle t = std::max(now, bank_lock_);
+  t = std::max(t, s.lock_until);
+  if (!modes_.multi_activation) t = std::max(t, global_act_lock_);
+  if (p == ActPurpose::kRead) {
+    // Sensing occupies the local bitline path of each needed CD; it cannot
+    // overlap other sensing or write driving in the same CD.
+    std::uint64_t cds = needed_cds(a, extra_cds);
+    // An ACT on the already-open row only needs to sense the missing CDs.
+    if (s.open_row == a.row) cds &= ~s.sensed;
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) {
+        t = std::max(t, cd_sense_lock_[cd]);
+        t = std::max(t, cd_write_lock_[cd]);
+      }
+    }
+  }
+  return t;
+}
+
+inline Cycle FgNvmBank::earliest_column(const mem::DecodedAddr& a, OpType op,
+                                        Cycle now) const {
+  const SagState& s = sags_[a.sag];
+  Cycle t = std::max(now, bank_lock_);
+  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
+
+  if (op == OpType::kRead) {
+    // Data must be latched; the SAG must not be mid-ACT or mid-write; the
+    // CD's I/O path must not be driven by a write.
+    t = std::max(t, s.sense_ready);
+    t = std::max(t, s.lock_until);
+    std::uint64_t cds = line_cds(a);
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) t = std::max(t, cd_write_lock_[cd]);
+    }
+  } else {
+    // Write driving needs the wordline (SAG) plus exclusive use of the CD
+    // bitline/IO path — it cannot overlap sensing *or* another write there.
+    t = std::max(t, s.lock_until);
+    std::uint64_t cds = line_cds(a);
+    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
+      if (cds & 1) {
+        t = std::max(t, cd_sense_lock_[cd]);
+        t = std::max(t, cd_write_lock_[cd]);
+      }
+    }
+  }
+  return t;
+}
 
 }  // namespace fgnvm::nvm

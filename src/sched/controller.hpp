@@ -21,6 +21,18 @@
 // The pre-index full-queue scans are kept as a reference oracle: with
 // cross-checking on (FGNVM_PARANOID, or set_cross_check), every issue
 // decision and next_event value is recomputed both ways and compared.
+//
+// Bank dispatch is static (DESIGN.md §9): the controller is a class template
+// over the concrete bank type, so the hot candidate probes (earliest_*,
+// segments_sensed, open_row_of) resolve at compile time — final concrete
+// bank classes devirtualize, and header-inline queries inline into the
+// selection loops. ControllerBase is the thin type-erased facade
+// sys::MemorySystem drives (one virtual call per due-channel tick, none per
+// candidate). ControllerT<nvm::Bank> keeps the fully virtual dispatch for
+// tests and custom bank doubles; `Controller` aliases it for source
+// compatibility. The shipped instantiations (nvm::Bank, nvm::FgNvmBank,
+// dram::DramBank) are explicit — see controller.cpp; ControllerT bodies
+// live in controller_impl.hpp and are not pulled into user TUs.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +50,13 @@
 #include "obs/observer.hpp"
 #include "sched/request_index.hpp"
 #include "sched/write_queue.hpp"
+
+namespace fgnvm::nvm {
+class FgNvmBank;
+}
+namespace fgnvm::dram {
+class DramBank;
+}
 
 namespace fgnvm::sched {
 
@@ -79,59 +98,126 @@ struct ControllerConfig {
 /// Factory for the banks of one channel (rank-major order).
 using BankFactory = std::function<std::unique_ptr<nvm::Bank>()>;
 
-class Controller {
+namespace detail {
+/// Mirrors sim::paranoid_mode(): FGNVM_PARANOID set, non-empty and not "0".
+bool paranoid_env();
+[[noreturn]] void throw_divergence(const char* what);
+}  // namespace detail
+
+/// Type-erased controller facade: everything sys::MemorySystem needs to
+/// drive one channel. Costs one virtual call per operation on a channel
+/// that actually has work — the per-candidate bank probes underneath are
+/// statically dispatched inside the ControllerT instantiation.
+class ControllerBase {
  public:
-  Controller(const mem::MemGeometry& geometry, const mem::TimingParams& timing,
-             const ControllerConfig& cfg, const BankFactory& make_bank);
+  virtual ~ControllerBase() = default;
 
   /// True if a new request of this type can be accepted this cycle.
-  bool can_accept(OpType op) const;
+  virtual bool can_accept(OpType op) const = 0;
 
   /// Accepts a request (precondition: can_accept). Writes are posted —
   /// they are reported complete immediately; reads complete via completed().
-  void enqueue(mem::MemRequest req, Cycle now);
+  virtual void enqueue(mem::MemRequest req, Cycle now) = 0;
 
   /// Advances one memory cycle: issues up to issue_width commands and
   /// retires finished reads into the completed() list.
-  void tick(Cycle now);
+  virtual void tick(Cycle now) = 0;
 
   /// Reads whose data burst finished at or before the last tick. The caller
   /// takes ownership (the list is cleared by this call).
-  std::vector<mem::MemRequest> take_completed();
+  virtual std::vector<mem::MemRequest> take_completed() = 0;
 
   /// Allocation-free variant: appends the completed reads to `out` and
   /// clears the internal list. Hot-path API for the simulation loops.
-  void drain_completed(std::vector<mem::MemRequest>& out);
+  virtual void drain_completed(std::vector<mem::MemRequest>& out) = 0;
 
   /// Earliest cycle > now at which tick() could change any state or stat,
   /// given no new arrivals; kNeverCycle when fully idle. May undershoot
-  /// (waking early is a no-op) but never overshoots — the event-skipping
-  /// runner loops rely on this to stay bit-identical with cycle stepping.
-  Cycle next_event(Cycle now) const;
+  /// (waking early is a no-op tick) but never overshoots — the
+  /// event-skipping runner loops rely on this to stay bit-identical with
+  /// cycle stepping.
+  virtual Cycle next_event(Cycle now) const = 0;
 
-  bool idle() const;
+  /// Runs this channel's event chain from `due` (its cached next_event
+  /// value) up to but excluding `horizon`: ticks at every chain cycle
+  /// < horizon and returns the first chain cycle >= horizon (or
+  /// kNeverCycle when the channel goes idle). Exactly the ticks the
+  /// event-skipping loop would run serially — completions accumulate in the
+  /// completed() list and are not consulted mid-chain, so the caller must
+  /// guarantee nothing outside the channel needs servicing before horizon
+  /// (see completion_bound and DESIGN.md §9).
+  virtual Cycle advance_to(Cycle due, Cycle horizon) = 0;
 
-  const std::vector<std::unique_ptr<nvm::Bank>>& banks() const { return banks_; }
-  const mem::DataBus& bus() const { return bus_; }
-  const WriteQueue& write_queue() const { return writes_; }
-  const StatSet& stats() const { return stats_; }
-  std::uint64_t pending_reads() const { return ridx_.size(); }
+  /// Lower bound on the first cycle > now at which this channel could hand
+  /// a completion to the caller: now+1 with completions already pending,
+  /// else the earliest in-flight burst end, else (reads queued) the
+  /// channel's next event plus the minimum read service time; kNeverCycle
+  /// when no queued or in-flight read exists. Never overshoots the first
+  /// completion delivery, so it is a safe advance_to horizon for a caller
+  /// waiting only on completions.
+  virtual Cycle completion_bound(Cycle now) const = 0;
+
+  virtual bool idle() const = 0;
+
+  virtual const std::vector<std::unique_ptr<nvm::Bank>>& banks() const = 0;
+  virtual const mem::DataBus& bus() const = 0;
+  virtual const WriteQueue& write_queue() const = 0;
+  virtual const StatSet& stats() const = 0;
+  virtual std::uint64_t pending_reads() const = 0;
 
   /// Enables the reference-oracle cross-check: every issue decision and
   /// next_event value is recomputed with the pre-index full-queue scans and
   /// compared (throws std::runtime_error on divergence). Also switched on
   /// by the FGNVM_PARANOID environment variable at construction.
-  void set_cross_check(bool on) { cross_check_ = on; }
-  bool cross_check() const { return cross_check_; }
+  virtual void set_cross_check(bool on) = 0;
+  virtual bool cross_check() const = 0;
 
   /// Attaches a request-trace collector (fgnvm::obs). Null (the default)
   /// disables collection: the hot paths then take one pointer test per hook
   /// and allocate nothing — simulated timing and stats are unchanged either
   /// way, since the collector is purely passive.
-  void set_collector(obs::ChannelCollector* collector) { obs_ = collector; }
+  virtual void set_collector(obs::ChannelCollector* collector) = 0;
 
   /// Accumulates this channel's contribution to an epoch sample.
-  void sample_obs(Cycle now, obs::ChannelSample& s) const;
+  virtual void sample_obs(Cycle now, obs::ChannelSample& s) const = 0;
+};
+
+/// The controller, generic over the concrete bank type. BankT must be
+/// nvm::Bank (fully virtual dispatch — the compatibility/test
+/// configuration) or a final class derived from it; the factory must
+/// produce exactly BankT instances. All shipped instantiations are
+/// explicit (see the extern template declarations below).
+template <typename BankT>
+class ControllerT final : public ControllerBase {
+ public:
+  ControllerT(const mem::MemGeometry& geometry, const mem::TimingParams& timing,
+              const ControllerConfig& cfg, const BankFactory& make_bank);
+
+  bool can_accept(OpType op) const override;
+  void enqueue(mem::MemRequest req, Cycle now) override;
+  void tick(Cycle now) override;
+  std::vector<mem::MemRequest> take_completed() override;
+  void drain_completed(std::vector<mem::MemRequest>& out) override;
+  Cycle next_event(Cycle now) const override;
+  Cycle advance_to(Cycle due, Cycle horizon) override;
+  Cycle completion_bound(Cycle now) const override;
+  bool idle() const override;
+
+  const std::vector<std::unique_ptr<nvm::Bank>>& banks() const override {
+    return banks_;
+  }
+  const mem::DataBus& bus() const override { return bus_; }
+  const WriteQueue& write_queue() const override { return writes_; }
+  const StatSet& stats() const override { return stats_; }
+  std::uint64_t pending_reads() const override { return ridx_.size(); }
+
+  void set_cross_check(bool on) override { cross_check_ = on; }
+  bool cross_check() const override { return cross_check_; }
+
+  void set_collector(obs::ChannelCollector* collector) override {
+    obs_ = collector;
+  }
+  void sample_obs(Cycle now, obs::ChannelSample& s) const override;
 
  private:
   struct ReadSlot {
@@ -176,8 +262,8 @@ class Controller {
     std::uint64_t* value = nullptr;
   };
 
-  nvm::Bank& bank_of(const mem::DecodedAddr& a);
-  const nvm::Bank& bank_of(const mem::DecodedAddr& a) const;
+  BankT& bank_of(const mem::DecodedAddr& a);
+  const BankT& bank_of(const mem::DecodedAddr& a) const;
   std::uint64_t bank_linear(const mem::DecodedAddr& a) const {
     return a.rank * geo_.banks_per_rank + a.bank;
   }
@@ -215,6 +301,11 @@ class Controller {
   void recompute_bank_cand(std::uint64_t bank, Cycle tq) const;
   bool write_conflicts_with_reads(const mem::DecodedAddr& w) const;
 
+  /// next_event minus the completions-pending short-circuit. advance_to
+  /// walks the chain with this so buffered completions (drained only at the
+  /// horizon) do not degrade the window into per-cycle no-op ticks.
+  Cycle next_event_internal(Cycle now) const;
+
   // ---- reference oracle: the pre-index O(queue) scans, preserved verbatim
   // over the global FIFO lists. FCFS read selection keeps inherently
   // arrival-ordered early-exit semantics, so it runs on these directly. ---
@@ -246,6 +337,9 @@ class Controller {
   ControllerConfig cfg_;
 
   std::vector<std::unique_ptr<nvm::Bank>> banks_;
+  std::vector<BankT*> typed_;  // banks_ downcast once at construction; the
+                               // hot paths probe through these so the calls
+                               // devirtualize (BankT final) and inline
   mem::DataBus bus_;
 
   // Queued reads: stable slot pool (sized once, never reallocates — slot
@@ -299,5 +393,16 @@ class Controller {
   Distribution* d_read_latency_ = nullptr;
   Histogram* h_read_latency_hist_ = nullptr;
 };
+
+/// The shipped instantiations live in controller.cpp; everything else sees
+/// only these declarations (ControllerT bodies stay out of user TUs).
+extern template class ControllerT<nvm::Bank>;
+extern template class ControllerT<nvm::FgNvmBank>;
+extern template class ControllerT<dram::DramBank>;
+
+/// Source-compatibility alias: the fully virtual configuration, used by the
+/// controller unit/differential tests and anything not hot enough to pick a
+/// concrete bank type.
+using Controller = ControllerT<nvm::Bank>;
 
 }  // namespace fgnvm::sched

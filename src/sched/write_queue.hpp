@@ -53,6 +53,17 @@ class WriteQueue {
   bool update_drain();
   bool draining() const { return draining_; }
 
+  /// True when the next update_drain() call will flip the drain latch.
+  /// The latch is hysteretic (between wq_low and wq_high both states are
+  /// stable), so the flip is a genuine scheduling event: next_event must
+  /// schedule a tick for the cycle after the occupancy crossing, or a
+  /// lazily-ticked channel samples the latch at a later cycle — by which
+  /// time new arrivals may have pushed occupancy back into the bistable
+  /// band and the latch settles differently than under per-cycle ticking.
+  bool drain_update_pending() const {
+    return draining_ ? size_ <= low_ : size_ >= high_;
+  }
+
   /// FIFO iteration over stable slot indices: for (s = first(); s >= 0;
   /// s = next(s)). Arrival order, unaffected by removals elsewhere.
   std::int32_t first() const { return head_; }

@@ -132,10 +132,12 @@ RunResult run_workload_loop(const trace::Trace& trace,
                             const cpu::CpuParams& cpu_params,
                             Cycle max_mem_cycles, bool skip) {
   sys::MemorySystem mem(sys_cfg);
+  if (!skip) mem.set_eager_ticking(true);
   cpu::RobCpu core(trace, cpu_params, mem);
   if (obs::Observer* o = mem.observer()) {
     o->set_instruction_source([&core] { return core.instructions_retired(); });
   }
+  const bool windows = skip && mem.lazy_scheduling();
   std::vector<mem::MemRequest> done;
 
   Cycle t = 0;
@@ -151,10 +153,28 @@ RunResult run_workload_loop(const trace::Trace& trace,
     Cycle next = t + 1;
     if (skip &&
         (core.finished() || core.stalled_until(next) == kNeverCycle)) {
-      const Cycle event = mem.next_event(t);
-      if (event > next && event != kNeverCycle) {
-        next = std::min(event, max_mem_cycles);
-        if (!core.finished()) core.advance_stalled(next - (t + 1));
+      bool advanced = false;
+      // Windowed advance: while the core can only be woken by a completion,
+      // run every channel along its own event chain up to the earliest cycle
+      // one could be delivered, instead of returning to this loop at each
+      // global event. Requires a valid bound — when no read is queued or in
+      // flight anywhere (write drain), fall through to the event path so the
+      // final mem_cycles matches the per-event schedule.
+      if (windows && (core.finished() || core.completion_stalled())) {
+        const Cycle bound = mem.completion_bound(t);
+        if (bound != kNeverCycle && std::min(bound, max_mem_cycles) > next) {
+          next = std::min(bound, max_mem_cycles);
+          mem.advance_channels_to(next);
+          if (!core.finished()) core.advance_stalled(next - (t + 1));
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        const Cycle event = mem.next_event(t);
+        if (event > next && event != kNeverCycle) {
+          next = std::min(event, max_mem_cycles);
+          if (!core.finished()) core.advance_stalled(next - (t + 1));
+        }
       }
     }
     t = next;
@@ -173,6 +193,7 @@ MultiProgramResult run_multiprogrammed_loop(
     const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
     const cpu::CpuParams& cpu_params, Cycle max_mem_cycles, bool skip) {
   sys::MemorySystem mem(sys_cfg);
+  if (!skip) mem.set_eager_ticking(true);
   std::vector<std::unique_ptr<cpu::RobCpu>> cores;
   cores.reserve(traces.size());
   for (std::size_t i = 0; i < traces.size(); ++i) {
@@ -191,7 +212,11 @@ MultiProgramResult run_multiprogrammed_loop(
     return std::all_of(cores.begin(), cores.end(),
                        [](const auto& c) { return c->finished(); });
   };
+  const bool windows = false;
   std::vector<mem::MemRequest> done;
+  // Completions routed by cpu_tag, so each core scans only its own requests
+  // instead of every core scanning the full drain.
+  std::vector<std::vector<mem::MemRequest>> per_core(cores.size());
 
   Cycle t = 0;
   while (!all_finished() || !mem.idle()) {
@@ -199,8 +224,18 @@ MultiProgramResult run_multiprogrammed_loop(
       throw std::runtime_error("run_multiprogrammed: exceeded max_mem_cycles");
     }
     mem.drain_completed(done);
+    if (!done.empty()) {
+      for (auto& bucket : per_core) bucket.clear();
+      for (const mem::MemRequest& r : done) {
+        if (r.is_read() && r.cpu_tag < per_core.size()) {
+          per_core[r.cpu_tag].push_back(r);
+        }
+      }
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        cores[i]->complete(per_core[i]);
+      }
+    }
     for (auto& core : cores) {
-      core->complete(done);
       core->tick_mem_cycle(t);
     }
     mem.tick(t);
@@ -211,11 +246,29 @@ MultiProgramResult run_multiprogrammed_loop(
             return c->finished() || c->stalled_until(next) == kNeverCycle;
           });
       if (all_blocked) {
-        const Cycle event = mem.next_event(t);
-        if (event > next && event != kNeverCycle) {
-          next = std::min(event, max_mem_cycles);
-          for (auto& core : cores) {
-            if (!core->finished()) core->advance_stalled(next - (t + 1));
+        bool advanced = false;
+        if (windows && std::all_of(cores.begin(), cores.end(),
+                                   [](const auto& c) {
+                                     return c->finished() ||
+                                            c->completion_stalled();
+                                   })) {
+          const Cycle bound = mem.completion_bound(t);
+          if (bound != kNeverCycle && std::min(bound, max_mem_cycles) > next) {
+            next = std::min(bound, max_mem_cycles);
+            mem.advance_channels_to(next);
+            for (auto& core : cores) {
+              if (!core->finished()) core->advance_stalled(next - (t + 1));
+            }
+            advanced = true;
+          }
+        }
+        if (!advanced) {
+          const Cycle event = mem.next_event(t);
+          if (event > next && event != kNeverCycle) {
+            next = std::min(event, max_mem_cycles);
+            for (auto& core : cores) {
+              if (!core->finished()) core->advance_stalled(next - (t + 1));
+            }
           }
         }
       }
@@ -244,6 +297,8 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
                                const sys::SystemConfig& sys_cfg,
                                Cycle max_mem_cycles, bool skip) {
   sys::MemorySystem mem(sys_cfg);
+  if (!skip) mem.set_eager_ticking(true);
+  const bool windows = skip && mem.lazy_scheduling();
   std::size_t next_rec = 0;
   std::vector<mem::MemRequest> done;
 
@@ -268,9 +323,27 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
           !mem.can_accept(trace.records[next_rec].addr,
                           trace.records[next_rec].op);
       if (blocked) {
-        const Cycle event = mem.next_event(t);
-        if (event > next && event != kNeverCycle) {
-          next = std::min(event, max_mem_cycles);
+        bool advanced = false;
+        // Windowed advance: the next record is blocked on its target
+        // channel, whose can_accept answer can only change at that channel's
+        // own event cycles — the earliest being its cached due. Run every
+        // other channel up to that horizon in one advance. After trace
+        // exhaustion, stick to the event path so the final drain-out cycle
+        // (and hence mem_cycles) matches the per-event schedule.
+        if (windows && next_rec < trace.records.size()) {
+          const Cycle horizon = mem.accept_event(trace.records[next_rec].addr);
+          if (horizon != kNeverCycle &&
+              std::min(horizon, max_mem_cycles) > next) {
+            next = std::min(horizon, max_mem_cycles);
+            mem.advance_channels_to(next);
+            advanced = true;
+          }
+        }
+        if (!advanced) {
+          const Cycle event = mem.next_event(t);
+          if (event > next && event != kNeverCycle) {
+            next = std::min(event, max_mem_cycles);
+          }
         }
       }
     }

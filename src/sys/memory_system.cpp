@@ -1,11 +1,28 @@
 #include "sys/memory_system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "dram/dram_bank.hpp"
 #include "nvm/fgnvm_bank.hpp"
 
 namespace fgnvm::sys {
+
+namespace {
+
+/// run_threads with the FGNVM_RUN_THREADS environment override applied.
+std::uint64_t effective_run_threads(std::uint64_t configured) {
+  if (const char* env = std::getenv("FGNVM_RUN_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return configured;
+}
+
+}  // namespace
 
 SystemConfig SystemConfig::from_config(const Config& cfg) {
   SystemConfig sc;
@@ -31,6 +48,7 @@ SystemConfig SystemConfig::from_config(const Config& cfg) {
   sc.modes.background_writes =
       cfg.get_bool("background_writes", sc.modes.background_writes);
   sc.obs = obs::ObsConfig::from_config(cfg);
+  sc.run_threads = cfg.get_u64("run_threads", sc.run_threads);
   return sc;
 }
 
@@ -38,16 +56,23 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
     : cfg_(cfg),
       decoder_(cfg.geometry, cfg.mapping),
       energy_model_(cfg.energy) {
-  const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
-    if (cfg_.bank_kind == BankKind::kDram) {
-      return std::make_unique<dram::DramBank>(cfg_.geometry, cfg_.timing);
-    }
-    return std::make_unique<nvm::FgNvmBank>(cfg_.geometry, cfg_.timing,
-                                            cfg_.modes);
-  };
+  // Statically-dispatched controllers: each bank kind gets the ControllerT
+  // instantiation whose candidate probes inline the concrete bank type.
   for (std::uint64_t ch = 0; ch < cfg_.geometry.channels; ++ch) {
-    channels_.push_back(std::make_unique<sched::Controller>(
-        cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
+    if (cfg_.bank_kind == BankKind::kDram) {
+      const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
+        return std::make_unique<dram::DramBank>(cfg_.geometry, cfg_.timing);
+      };
+      channels_.push_back(std::make_unique<sched::ControllerT<dram::DramBank>>(
+          cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
+    } else {
+      const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
+        return std::make_unique<nvm::FgNvmBank>(cfg_.geometry, cfg_.timing,
+                                                cfg_.modes);
+      };
+      channels_.push_back(std::make_unique<sched::ControllerT<nvm::FgNvmBank>>(
+          cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
+    }
   }
   if (cfg_.obs.enabled) {
     obs_ = std::make_shared<obs::Observer>(cfg_.obs, channels_.size());
@@ -55,6 +80,27 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
       channels_[ch]->set_collector(obs_->channel(ch));
     }
   }
+  // Due cycle 0 makes the first tick visit (and re-arm) every channel.
+  due_.assign(channels_.size(), 0);
+  maybe_completed_.assign(channels_.size(), 0);
+  min_due_ = 0;
+  update_lazy();
+  const std::uint64_t threads = effective_run_threads(cfg_.run_threads);
+  if (threads > 1 && channels_.size() > 1) {
+    pool_ = std::make_unique<sim::SweepRunner>(static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, channels_.size())));
+  }
+  scratch_due_.reserve(channels_.size());
+}
+
+void MemorySystem::set_eager_ticking(bool eager) {
+  eager_ = eager;
+  update_lazy();
+  // Entering lazy mode with stale caches: force a full visit on the next
+  // tick and a conservative drain.
+  due_.assign(channels_.size(), 0);
+  min_due_ = 0;
+  maybe_completed_.assign(channels_.size(), 1);
 }
 
 bool MemorySystem::can_accept(Addr addr, OpType op) const {
@@ -70,11 +116,32 @@ RequestId MemorySystem::submit(Addr addr, OpType op, Cycle now,
   req.addr = decoder_.decode(addr);
   req.cpu_tag = cpu_tag;
   (op == OpType::kRead ? submitted_reads_ : submitted_writes_) += 1;
-  channels_[req.addr.channel]->enqueue(req, now);
+  const std::uint64_t ch = req.addr.channel;
+  channels_[ch]->enqueue(req, now);
+  // The channel must be visited by the tick at `now` (submission precedes
+  // the same-cycle tick in every loop), and a forwarded read completes
+  // inside enqueue — flag the drain unconditionally.
+  due_[ch] = std::min(due_[ch], now);
+  min_due_ = std::min(min_due_, now);
+  maybe_completed_[ch] = 1;
   return req.id;
 }
 
 void MemorySystem::tick(Cycle now) {
+  if (lazy_) {
+    const std::uint64_t n = channels_.size();
+    if (min_due_ <= now) {
+      for (std::uint64_t ch = 0; ch < n; ++ch) {
+        if (due_[ch] <= now) {
+          channels_[ch]->tick(now);
+          maybe_completed_[ch] = 1;
+          due_[ch] = channels_[ch]->next_event(now);
+        }
+      }
+      recompute_min_due();
+    }
+    return;
+  }
   for (auto& ch : channels_) ch->tick(now);
   if (obs_ && obs_->sample_due(now)) {
     obs::ChannelSample cs;
@@ -105,13 +172,66 @@ std::vector<mem::MemRequest> MemorySystem::take_completed() {
 
 void MemorySystem::drain_completed(std::vector<mem::MemRequest>& out) {
   out.clear();
+  if (lazy_) {
+    const std::uint64_t n = channels_.size();
+    for (std::uint64_t ch = 0; ch < n; ++ch) {
+      if (maybe_completed_[ch]) {
+        channels_[ch]->drain_completed(out);
+        maybe_completed_[ch] = 0;
+      }
+    }
+    return;
+  }
   for (auto& ch : channels_) ch->drain_completed(out);
 }
 
 Cycle MemorySystem::next_event(Cycle now) const {
+  if (lazy_) {
+    // due_ entries never overshoot their channel's next actionable cycle,
+    // so the cached minimum is a valid (possibly early) wake. Entries at or
+    // before `now` only occur transiently around submit; clamp to keep the
+    // "> now" contract.
+    if (min_due_ == kNeverCycle) return kNeverCycle;
+    return std::max(min_due_, now + 1);
+  }
   Cycle next = kNeverCycle;
   for (const auto& ch : channels_) next = std::min(next, ch->next_event(now));
   return next;
+}
+
+Cycle MemorySystem::completion_bound(Cycle now) const {
+  Cycle bound = kNeverCycle;
+  for (const auto& ch : channels_) {
+    bound = std::min(bound, ch->completion_bound(now));
+  }
+  return bound;
+}
+
+Cycle MemorySystem::accept_event(Addr addr) const {
+  return due_[decoder_.decode(addr).channel];
+}
+
+void MemorySystem::advance_channels_to(Cycle horizon) {
+  scratch_due_.clear();
+  const std::uint64_t n = channels_.size();
+  for (std::uint64_t ch = 0; ch < n; ++ch) {
+    if (due_[ch] < horizon) scratch_due_.push_back(static_cast<std::uint32_t>(ch));
+  }
+  const std::size_t due_count = scratch_due_.size();
+  const auto advance_one = [&](std::size_t i) {
+    const std::uint32_t ch = scratch_due_[i];
+    // Channels share no mutable state (per-channel banks, bus, stats; the
+    // observer is off under lazy scheduling), so each advances its own
+    // event chain independently; due_ slots are index-disjoint.
+    due_[ch] = channels_[ch]->advance_to(due_[ch], horizon);
+  };
+  if (pool_ && due_count >= 2) {
+    pool_->for_each(due_count, advance_one);
+  } else {
+    for (std::size_t i = 0; i < due_count; ++i) advance_one(i);
+  }
+  for (const std::uint32_t ch : scratch_due_) maybe_completed_[ch] = 1;
+  recompute_min_due();
 }
 
 bool MemorySystem::idle() const {

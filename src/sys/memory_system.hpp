@@ -2,6 +2,16 @@
 //
 // This is the public simulation API: submit(addr, op) -> completion events,
 // tick() once per memory cycle, energy() for the Section-6 accounting.
+//
+// Channels never interact below this layer, so MemorySystem schedules them
+// lazily (DESIGN.md §9): it caches each channel's next-event ("due") cycle
+// and a pending-completion flag, ticks only channels whose due has arrived,
+// answers next_event() from the cached minimum, and drains completions only
+// from flagged channels — idle channels are never touched. On top of the
+// lazy clocks, advance_channels_to() runs due channels to a caller-supplied
+// horizon, optionally in parallel (run_threads config key / the
+// FGNVM_RUN_THREADS environment variable), with results byte-identical at
+// any thread count.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +20,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/sweep.hpp"
 #include "common/types.hpp"
 #include "mem/geometry.hpp"
 #include "mem/timing.hpp"
@@ -36,6 +47,10 @@ struct SystemConfig {
   sched::ControllerConfig controller;
   nvm::EnergyParams energy;
   obs::ObsConfig obs;
+  /// Threads for advance_channels_to (single-run channel-level parallelism).
+  /// 1 = serial; capped by the channel count in effect. Overridden by the
+  /// FGNVM_RUN_THREADS environment variable.
+  std::uint64_t run_threads = 1;
 
   /// Builds from a flat Config; see individual from_config methods for keys.
   /// Access-mode keys: partial_activation, multi_activation,
@@ -49,6 +64,9 @@ class MemorySystem {
 
   const SystemConfig& config() const { return cfg_; }
   const mem::AddressDecoder& decoder() const { return decoder_; }
+  std::uint64_t channels() const { return channels_.size(); }
+  /// Worker threads advance_channels_to uses (1 = serial).
+  unsigned run_threads() const { return pool_ ? pool_->threads() : 1; }
 
   /// Backpressure check for the channel that `addr` maps to.
   bool can_accept(Addr addr, OpType op) const;
@@ -56,20 +74,52 @@ class MemorySystem {
   /// Submits a request; returns its id. Precondition: can_accept().
   RequestId submit(Addr addr, OpType op, Cycle now, std::uint64_t cpu_tag = 0);
 
-  /// Advances all channels one memory cycle.
+  /// Advances the system one memory cycle: with lazy scheduling, only the
+  /// channels whose cached due cycle has arrived; otherwise all channels.
   void tick(Cycle now);
 
   /// Completed read requests (and forwarded reads) since the last call.
   std::vector<mem::MemRequest> take_completed();
 
   /// Allocation-free variant: clears `out`, then fills it with the completed
-  /// requests since the last call. The simulation loops reuse one buffer.
+  /// requests since the last call (always in channel order). The simulation
+  /// loops reuse one buffer.
   void drain_completed(std::vector<mem::MemRequest>& out);
 
   /// Earliest cycle > now at which any channel's tick() could change state,
   /// absent new arrivals; kNeverCycle when fully idle. Never overshoots an
-  /// actionable cycle (see Controller::next_event).
+  /// actionable cycle (see Controller::next_event). O(1) under lazy
+  /// scheduling (reads the cached minimum).
   Cycle next_event(Cycle now) const;
+
+  /// True when the per-channel due caches drive tick/next_event/drain. Off
+  /// with an observer attached or after set_eager_ticking(true); the
+  /// windowed advance paths below require it.
+  bool lazy_scheduling() const { return lazy_; }
+
+  /// Forces every tick() to visit every channel (the pre-§9 behaviour).
+  /// The cycle-accurate reference loops run eager so the FGNVM_PARANOID
+  /// oracle is independent of the due-cache machinery.
+  void set_eager_ticking(bool eager);
+
+  /// Lower bound over all channels on the first cycle > now a completion
+  /// could be handed to the caller (see Controller::completion_bound);
+  /// kNeverCycle when no queued or in-flight read exists anywhere.
+  Cycle completion_bound(Cycle now) const;
+
+  /// Cached due cycle of the channel `addr` maps to — the earliest cycle at
+  /// which that channel's state (in particular its can_accept answer) could
+  /// change. Requires lazy_scheduling().
+  Cycle accept_event(Addr addr) const;
+
+  /// Runs every channel with due < horizon along its own event chain up to
+  /// the horizon (Controller::advance_to), in parallel when a run-thread
+  /// pool is active and 2+ channels are due. Completions buffer per channel
+  /// and drain in channel order afterwards, so results are byte-identical
+  /// to the serial schedule at any thread count. The caller must guarantee
+  /// no submissions or drains are needed before the horizon (see
+  /// completion_bound / accept_event). Requires lazy_scheduling().
+  void advance_channels_to(Cycle horizon);
 
   bool idle() const;
 
@@ -92,14 +142,34 @@ class MemorySystem {
   std::shared_ptr<const obs::Observer> observer_ptr() const { return obs_; }
 
  private:
+  void update_lazy() { lazy_ = !eager_ && obs_ == nullptr; }
+  void recompute_min_due() {
+    Cycle m = kNeverCycle;
+    for (const Cycle d : due_) m = std::min(m, d);
+    min_due_ = m;
+  }
+
   SystemConfig cfg_;
   mem::AddressDecoder decoder_;
-  std::vector<std::unique_ptr<sched::Controller>> channels_;
+  std::vector<std::unique_ptr<sched::ControllerBase>> channels_;
   nvm::EnergyModel energy_model_;
   std::shared_ptr<obs::Observer> obs_;  // null = tracing disabled
   RequestId next_id_ = 1;
   std::uint64_t submitted_reads_ = 0;
   std::uint64_t submitted_writes_ = 0;
+
+  // Lazy per-channel scheduling state (DESIGN.md §9). due_[ch] never
+  // overshoots channel ch's next actionable cycle; min_due_ is the fold of
+  // due_; maybe_completed_[ch] is set whenever ch might have buffered a
+  // completion since the last drain (every tick of ch, and every submit to
+  // ch — store-to-load forwarding completes inside enqueue).
+  std::vector<Cycle> due_;
+  std::vector<std::uint8_t> maybe_completed_;
+  Cycle min_due_ = 0;
+  bool eager_ = false;
+  bool lazy_ = true;
+  std::unique_ptr<sim::SweepRunner> pool_;  // null = serial advance
+  std::vector<std::uint32_t> scratch_due_;  // channels due this advance
 };
 
 }  // namespace fgnvm::sys

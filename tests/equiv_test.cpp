@@ -27,6 +27,17 @@ struct NamedConfig {
   sys::SystemConfig cfg;
 };
 
+/// Widens a preset to `channels` channels; `run_threads` > 1 additionally
+/// turns on the parallel channel advance so the preset sweep covers the
+/// multi-threaded lazy path against the serial cycle-accurate reference.
+sys::SystemConfig with_channels(sys::SystemConfig cfg, std::uint64_t channels,
+                                std::uint64_t run_threads = 1) {
+  cfg.geometry.channels = channels;
+  cfg.geometry.validate();
+  cfg.run_threads = run_threads;
+  return cfg;
+}
+
 std::vector<NamedConfig> preset_configs() {
   return {
       {"baseline", sys::baseline_config()},
@@ -37,6 +48,13 @@ std::vector<NamedConfig> preset_configs() {
       {"perfect", sys::perfect_config()},
       {"dram", sys::dram_config()},
       {"dram_salp8", sys::dram_config(8)},
+      // Multi-channel geometries: the per-channel due caches and windowed
+      // advance must stay bit-identical when requests spread over channels.
+      {"fgnvm_4x4_ch4", with_channels(sys::fgnvm_config(4, 4), 4)},
+      {"dram_ch4", with_channels(sys::dram_config(), 4)},
+      // Same geometries with the parallel channel advance enabled.
+      {"fgnvm_4x4_ch4_mt", with_channels(sys::fgnvm_config(4, 4), 4, 4)},
+      {"dram_salp4_ch4_mt", with_channels(sys::dram_config(4), 4, 4)},
   };
 }
 
@@ -108,6 +126,45 @@ TEST_P(EquivTest, RunMultiprogrammedBitIdentical) {
     const sim::MultiProgramResult other = sim::run_multiprogrammed(
         traces, cfg, {}, 500'000'000, mode);
     EXPECT_EQ(sim::diff_results(cyc, other), "") << mode_name(mode);
+  }
+}
+
+// The parallel channel advance promises byte-identical results at any
+// thread count (channels buffer completions independently; drains merge in
+// channel order). Compare every entry point at 1 vs 4 run threads directly,
+// for both bank kinds, under the event-skip loop that actually uses
+// advance_channels_to.
+TEST(MultiChannelEquiv, ThreadCountInvariant) {
+  const std::vector<trace::Trace> traces = workloads();
+  for (const sys::SystemConfig& base :
+       {sys::fgnvm_config(4, 4), sys::dram_config(4)}) {
+    const sys::SystemConfig serial = with_channels(base, 4, 1);
+    const sys::SystemConfig threaded = with_channels(base, 4, 4);
+    for (const trace::Trace& tr : traces) {
+      EXPECT_EQ(
+          sim::diff_results(
+              sim::run_workload(tr, serial, {}, 500'000'000,
+                                sim::LoopMode::kEventSkip),
+              sim::run_workload(tr, threaded, {}, 500'000'000,
+                                sim::LoopMode::kEventSkip)),
+          "")
+          << base.name << " workload " << tr.name;
+      EXPECT_EQ(
+          sim::diff_results(
+              sim::run_memory_only(tr, serial, 500'000'000,
+                                   sim::LoopMode::kEventSkip),
+              sim::run_memory_only(tr, threaded, 500'000'000,
+                                   sim::LoopMode::kEventSkip)),
+          "")
+          << base.name << " memory-only " << tr.name;
+    }
+    EXPECT_EQ(sim::diff_results(
+                  sim::run_multiprogrammed(traces, serial, {}, 500'000'000,
+                                           sim::LoopMode::kEventSkip),
+                  sim::run_multiprogrammed(traces, threaded, {}, 500'000'000,
+                                           sim::LoopMode::kEventSkip)),
+              "")
+        << base.name << " multiprogrammed";
   }
 }
 

@@ -13,6 +13,8 @@
 // off (the cross-check itself must not perturb the simulation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +24,8 @@
 #include "mem/timing.hpp"
 #include "nvm/fgnvm_bank.hpp"
 #include "sched/controller.hpp"
+#include "sys/memory_system.hpp"
+#include "sys/presets.hpp"
 
 namespace fgnvm::sched {
 namespace {
@@ -162,6 +166,116 @@ INSTANTIATE_TEST_SUITE_P(Differential, SchedIndexTest,
                          [](const auto& info) {
                            return scenario_name(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// MemorySystem-level differential: the lazy per-channel due caches (and the
+// windowed advance_channels_to on top of them, serial and threaded) must
+// yield the same simulation as eager all-channel ticking over a random
+// multi-channel stream. Arrivals are pre-scheduled so every mode is offered
+// the identical stream no matter how it advances time; a request is then
+// submitted at the first visited cycle at/after its arrival where the
+// channel accepts — which is the same cycle in every mode, because
+// acceptance only changes at actionable cycles and next_event never
+// overshoots one.
+
+struct Arrival {
+  Cycle at;
+  Addr addr;
+  OpType op;
+};
+
+std::vector<Arrival> plan_arrivals(const sys::MemorySystem& mem,
+                                   std::uint64_t ops, std::uint64_t seed) {
+  const mem::MemGeometry& geo = mem.config().geometry;
+  Rng rng(seed);
+  std::vector<Arrival> plan;
+  plan.reserve(ops);
+  Cycle at = 0;
+  std::uint64_t hot_row = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    at += rng.next_below(6);  // bursty: zero gaps allowed
+    if (rng.next_bool(0.05)) hot_row = rng.next_below(geo.rows_per_bank);
+    const std::uint64_t row =
+        rng.next_bool(0.7) ? hot_row : rng.next_below(geo.rows_per_bank);
+    const Addr addr = mem.decoder().encode(
+        rng.next_below(geo.channels), 0, rng.next_below(geo.banks_per_rank),
+        row, rng.next_below(geo.lines_per_row()));
+    const OpType op = rng.next_bool(0.35) ? OpType::kWrite : OpType::kRead;
+    plan.push_back({at, addr, op});
+  }
+  return plan;
+}
+
+/// Drives `plan` to completion and renders the final merged stats plus the
+/// completed-read count. `windowed` adds advance_channels_to windows (only
+/// meaningful under lazy scheduling) once arrivals are exhausted, bounded by
+/// completion_bound so no drain is skipped.
+std::string run_system(const sys::SystemConfig& cfg, bool eager, bool windowed,
+                       const std::vector<Arrival>& plan) {
+  sys::MemorySystem mem(cfg);
+  if (eager) mem.set_eager_ticking(true);
+  std::size_t next = 0;
+  Cycle now = 0;
+  std::uint64_t completed = 0;
+  while (next < plan.size() || !mem.idle()) {
+    while (next < plan.size() && plan[next].at <= now &&
+           mem.can_accept(plan[next].addr, plan[next].op)) {
+      mem.submit(plan[next].addr, plan[next].op, now);
+      ++next;
+    }
+    mem.tick(now);
+    completed += mem.take_completed().size();
+    const Cycle nxt = mem.next_event(now);
+    const bool backpressured = next < plan.size() && plan[next].at <= now;
+    Cycle step = nxt;
+    if (next < plan.size() && !backpressured) {
+      step = std::min(nxt, std::max<Cycle>(plan[next].at, now + 1));
+    }
+    if (step == kNeverCycle) {
+      if (next >= plan.size()) break;  // drained and no arrivals left
+      now = std::max(plan[next].at, now + 1);  // idle gap to the next burst
+    } else if (windowed && mem.lazy_scheduling() && next >= plan.size()) {
+      const Cycle bound = mem.completion_bound(now);
+      if (bound != kNeverCycle && bound > step) {
+        mem.advance_channels_to(bound);
+        now = bound;
+      } else {
+        now = step;
+      }
+    } else {
+      now = step;
+    }
+    if (now >= 50'000'000u) {
+      ADD_FAILURE() << "run did not converge";
+      break;
+    }
+  }
+  return mem.controller_stats().to_string() + "\ncompleted_reads=" +
+         std::to_string(completed) + "\nsubmitted=" +
+         std::to_string(mem.submitted_reads() + mem.submitted_writes());
+}
+
+TEST(MemorySystemDifferential, LazyAndWindowedMatchEagerAcrossChannels) {
+  for (sys::SystemConfig cfg :
+       {sys::fgnvm_config(4, 4), sys::dram_config(4)}) {
+    cfg.geometry.channels = 4;
+    cfg.geometry.validate();
+    for (const std::uint64_t seed : {11ull, 12ull}) {
+      sys::SystemConfig threaded = cfg;
+      threaded.run_threads = 4;
+      const sys::MemorySystem probe(cfg);
+      const std::vector<Arrival> plan = plan_arrivals(probe, 500, seed);
+      const std::string eager = run_system(cfg, true, false, plan);
+      EXPECT_NE(eager.find("completed_reads="), std::string::npos);
+      EXPECT_EQ(eager, run_system(cfg, false, false, plan))
+          << cfg.name << " lazy seed " << seed;
+      EXPECT_EQ(eager, run_system(cfg, false, true, plan))
+          << cfg.name << " windowed seed " << seed;
+      EXPECT_EQ(eager, run_system(threaded, false, true, plan))
+          << cfg.name << " threaded seed " << seed;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace fgnvm::sched
