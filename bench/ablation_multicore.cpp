@@ -30,22 +30,28 @@ int main(int argc, char** argv) {
   std::cout << "Ablation: weighted speedup of multi-programmed mixes ("
             << ops << " ops per core; higher is better, max = #cores)\n\n";
 
+  // Generate each mix trace once and compute each (config, workload)
+  // alone-IPC once: every core count reuses the same 8-workload prefix.
+  const benchutil::TraceSet trace_set(ops);
+  const std::vector<trace::Trace> mix_traces = trace_set.mix(mix8);
+  std::vector<std::vector<double>> alone(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (const auto& tr : mix_traces) {
+      alone[c].push_back(sim::run_workload(tr, configs[c]).ipc);
+    }
+  }
+
   Table t({"cores", "baseline", "fgnvm 4x4", "fgnvm+MI", "128 banks"});
   for (const std::size_t cores : {2u, 4u, 8u}) {
-    std::vector<trace::Trace> traces;
-    std::vector<std::vector<double>> alone(configs.size());
-    for (std::size_t i = 0; i < cores; ++i) {
-      traces.push_back(trace::generate_trace(
-          trace::spec2006_profile(mix8[i % mix8.size()]), ops));
-    }
+    const std::vector<trace::Trace> traces(mix_traces.begin(),
+                                           mix_traces.begin() + cores);
     std::vector<std::string> row{std::to_string(cores)};
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      for (const auto& tr : traces) {
-        alone[c].push_back(sim::run_workload(tr, configs[c]).ipc);
-      }
+      const std::vector<double> alone_slice(alone[c].begin(),
+                                            alone[c].begin() + cores);
       const sim::MultiProgramResult r =
           sim::run_multiprogrammed(traces, configs[c]);
-      row.push_back(Table::fmt(r.weighted_speedup(alone[c]), 2));
+      row.push_back(Table::fmt(r.weighted_speedup(alone_slice), 2));
     }
     t.add_row(row);
   }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace fgnvm;
   const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 8000);
 
+  const benchutil::TraceSet traces(ops);
   const std::vector<sched::SchedulerPolicy> policies = {
       sched::SchedulerPolicy::kFcfs,
       sched::SchedulerPolicy::kFrfcfs,
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   Table t({"benchmark", "fcfs (IPC)", "frfcfs", "frfcfs_aug"});
   std::vector<std::vector<double>> rel(policies.size() - 1);
 
-  for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+  for (const trace::Trace& tr : traces.all()) {
     std::vector<double> ipcs;
     for (const auto policy : policies) {
       sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
   Table t2({"memory", "open", "closed"});
   const auto policy_pair = [&](sys::SystemConfig cfg) {
     std::vector<double> open_ipc, closed_rel;
-    for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+    for (const trace::Trace& tr : traces.all()) {
       cfg.controller.page_policy = sched::PagePolicy::kOpen;
       const double open_v = sim::run_workload(tr, cfg).ipc;
       cfg.controller.page_policy = sched::PagePolicy::kClosed;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace fgnvm;
   const std::uint64_t ops = benchutil::ops_from_args(argc, argv, 8000);
 
+  const benchutil::TraceSet traces(ops);
   const std::vector<nvm::Technology> techs = {
       nvm::Technology::kPcm, nvm::Technology::kRram,
       nvm::Technology::kSttRam};
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
     const sys::SystemConfig base = sys::technology_config(tech, 1, 1);
     const sys::SystemConfig fg = sys::technology_config(tech, 4, 4);
     std::vector<double> base_ipc, speedup, energy;
-    for (const trace::Trace& tr : benchutil::evaluation_traces(ops)) {
+    for (const trace::Trace& tr : traces.all()) {
       const sim::RunResult rb = sim::run_workload(tr, base);
       const sim::RunResult rf = sim::run_workload(tr, fg);
       base_ipc.push_back(rb.ipc);

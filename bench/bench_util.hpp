@@ -65,6 +65,50 @@ inline std::vector<trace::Trace> evaluation_traces(std::uint64_t memory_ops,
   return traces;
 }
 
+/// Every evaluation profile's trace, generated exactly once per binary and
+/// handed out as `const trace::Trace&` so sweep cells, config loops, and
+/// pool threads all share one copy (generation is seeded per profile, so a
+/// shared set is identical to regenerating). Use this instead of calling
+/// evaluation_traces()/generate_trace() inside a loop.
+class TraceSet {
+ public:
+  explicit TraceSet(std::uint64_t memory_ops)
+      : traces_(evaluation_traces(memory_ops)) {}
+  TraceSet(std::uint64_t memory_ops, sim::SweepRunner& pool)
+      : traces_(evaluation_traces(memory_ops, pool)) {}
+
+  const std::vector<trace::Trace>& all() const { return traces_; }
+
+  /// The trace for one profile. An unknown name is a driver bug, not user
+  /// input: report and exit rather than throwing out of main.
+  const trace::Trace& by_name(const std::string& name) const {
+    for (const trace::Trace& t : traces_) {
+      if (t.name == name) return t;
+    }
+    std::cerr << "TraceSet: no trace named '" << name << "'\n";
+    std::exit(2);
+  }
+
+  /// A multiprogrammed mix: one trace per entry, order and duplicates
+  /// preserved. Copies the records (run_multiprogrammed wants a contiguous
+  /// vector) but never regenerates them.
+  std::vector<trace::Trace> mix(const std::vector<std::string>& names) const {
+    std::vector<trace::Trace> out;
+    out.reserve(names.size());
+    for (const std::string& n : names) out.push_back(by_name(n));
+    return out;
+  }
+
+  /// `count` copies of one profile — a homogeneous multiprogrammed mix.
+  std::vector<trace::Trace> copies(const std::string& name,
+                                   std::size_t count) const {
+    return std::vector<trace::Trace>(count, by_name(name));
+  }
+
+ private:
+  std::vector<trace::Trace> traces_;
+};
+
 /// One workload's runs from sweep_workloads, in the caller's config order.
 struct WorkloadRuns {
   std::string name;                      // trace name

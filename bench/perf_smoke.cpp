@@ -1,6 +1,6 @@
 // Performance smoke test with machine-readable output.
 //
-// Measures four throughput figures and writes them as JSON so CI and
+// Measures five throughput figures and writes them as JSON so CI and
 // regression tooling can track them without parsing tables:
 //  * end-to-end simulator throughput: simulated memory operations per
 //    wall-clock second for the milc workload on the 4x4 FgNVM config;
@@ -10,8 +10,15 @@
 //  * multi-channel throughput: the milc workload on the same 4x4 config
 //    widened to 4 channels (serial advance, run_threads=1) — tracks the
 //    per-channel due caches and the windowed channel advance;
+//  * compute-bound throughput: eight wrf cores (the lowest-MPKI profile)
+//    multiprogrammed on the 4x4 config — dominated by compute-only gaps
+//    between LLC misses, so it tracks the core-side analytic fast-forward
+//    and the indexed wake schedule (DESIGN.md §10);
 //  * sweep wall time: seconds for a SweepRunner sweep of all evaluation
 //    workloads through baseline + FgNVM 4x4.
+//
+// All scenarios draw their traces from one shared TraceSet — each profile
+// is generated exactly once per invocation.
 //
 // Usage: perf_smoke [ops] [output.json]
 //   ops          memory ops per run (default 20000; FGNVM_BENCH_OPS works)
@@ -36,9 +43,11 @@ int main(int argc, char** argv) {
   const std::string out_path =
       argc > 2 ? argv[2] : "BENCH_sim_throughput.json";
 
+  sim::SweepRunner pool;
+  const benchutil::TraceSet traces(ops, pool);
+
   // End-to-end throughput: repeated single runs on one thread.
-  const trace::Trace tr =
-      trace::generate_trace(trace::spec2006_profile("milc"), ops);
+  const trace::Trace& tr = traces.by_name("milc");
   const sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
   (void)sim::run_workload(tr, cfg);  // warm-up
   const int runs = 5;
@@ -65,8 +74,7 @@ int main(int argc, char** argv) {
   deep_cfg.controller.write_queue_cap = 128;
   deep_cfg.controller.wq_high = 64;
   deep_cfg.controller.wq_low = 16;
-  const trace::Trace deep_tr =
-      trace::generate_trace(trace::spec2006_profile("mcf"), ops);
+  const trace::Trace& deep_tr = traces.by_name("mcf");
   (void)sim::run_memory_only(deep_tr, deep_cfg);  // warm-up
   const auto td = clock::now();
   for (int i = 0; i < runs; ++i) {
@@ -104,13 +112,31 @@ int main(int argc, char** argv) {
   const double multi_channel_mem_ops_per_sec =
       static_cast<double>(ops) * runs / mc_secs;
 
+  // Compute-bound throughput: 8 wrf cores share the 4x4 config. wrf is the
+  // lowest-MPKI evaluation profile, so wall time is dominated by the
+  // compute-only gaps between misses — the regime the core-side
+  // fast-forward targets. Reported ops count all cores' submissions.
+  const std::vector<trace::Trace> cb_mix = traces.copies("wrf", 8);
+  (void)sim::run_multiprogrammed(cb_mix, cfg);  // warm-up
+  const auto tc = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::MultiProgramResult r = sim::run_multiprogrammed(cb_mix, cfg);
+    if (r.mem_cycles == 0 || r.ipc.empty()) {
+      std::cerr << "perf_smoke: compute-bound run " << i
+                << " did no work — refusing to report throughput\n";
+      return 1;
+    }
+  }
+  const double cb_secs =
+      std::chrono::duration<double>(clock::now() - tc).count();
+  const double compute_bound_mem_ops_per_sec =
+      static_cast<double>(ops) * cb_mix.size() * runs / cb_secs;
+
   // Sweep wall time: all evaluation workloads through baseline + FgNVM 4x4
   // on the thread pool (FGNVM_THREADS selects the width).
-  sim::SweepRunner pool;
   const auto t1 = clock::now();
-  const auto traces = benchutil::evaluation_traces(ops, pool);
   const auto runs_out = benchutil::sweep_workloads(
-      pool, traces, sys::baseline_config(), {cfg});
+      pool, traces.all(), sys::baseline_config(), {cfg});
   const double sweep_secs =
       std::chrono::duration<double>(clock::now() - t1).count();
   if (runs_out.empty()) {
@@ -132,7 +158,9 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"multi_channel_mem_ops_per_sec\": "
        << multi_channel_mem_ops_per_sec << ",\n"
-       << "  \"sweep_workloads\": " << traces.size() << ",\n"
+       << "  \"compute_bound_mem_ops_per_sec\": "
+       << compute_bound_mem_ops_per_sec << ",\n"
+       << "  \"sweep_workloads\": " << traces.all().size() << ",\n"
        << "  \"sweep_runs\": " << runs_out.size() * 2 << ",\n"
        << "  \"sweep_threads\": " << pool.threads() << ",\n"
        << "  \"sweep_wall_seconds\": " << sweep_secs << "\n"
@@ -145,6 +173,8 @@ int main(int argc, char** argv) {
             << " (" << runs << " x " << ops << " ops, 8x8, 64-entry queues)\n"
             << "multi-channel mem-ops/sec: " << multi_channel_mem_ops_per_sec
             << " (" << runs << " x " << ops << " ops, 4 channels, serial)\n"
+            << "compute-bound mem-ops/sec: " << compute_bound_mem_ops_per_sec
+            << " (" << runs << " x 8 wrf cores x " << ops << " ops)\n"
             << "sweep wall seconds: " << sweep_secs << " ("
             << runs_out.size() * 2 << " runs on " << pool.threads()
             << " threads)\n"

@@ -10,6 +10,10 @@ being gated — when adding or removing a scenario, re-bless the baseline
 with --update in the same change. Gains beyond the tolerance are reported
 but never fail the gate.
 
+When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), a per-key
+baseline/current/delta markdown table is appended to it, so perf movement
+is visible on the run page without downloading the artifact.
+
 Usage:
     perf_gate.py --current BENCH_sim_throughput.json \
                  [--baseline bench/baselines/sim_throughput.json] \
@@ -18,6 +22,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -48,6 +53,32 @@ def load(path: Path) -> dict:
     return data
 
 
+def write_step_summary(rows, failed, mismatched, tolerance) -> None:
+    """Appends a per-key markdown table to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Perf gate (sim throughput)", ""]
+    if mismatched:
+        lines.append(f"**FAIL** — key sets differ: {', '.join(mismatched)}")
+    elif failed:
+        lines.append(f"**FAIL** — regressed beyond {tolerance:.0%}: "
+                     f"{', '.join(failed)}")
+    else:
+        lines.append(f"**OK** — all keys within −{tolerance:.0%}")
+    lines += ["", "| key | baseline | current | delta |",
+              "| --- | ---: | ---: | ---: |"]
+    for key, base, cur, change in rows:
+        mark = " :warning:" if key in failed else ""
+        lines.append(f"| {key} | {base:,.0f} | {cur:,.0f} "
+                     f"| {change:+.1%}{mark} |")
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n\n")
+    except OSError as e:
+        print(f"perf_gate: cannot write step summary: {e}", file=sys.stderr)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", required=True, type=Path,
@@ -75,6 +106,7 @@ def main() -> int:
 
     failed = []
     mismatched = []
+    rows = []  # (key, baseline, current, change) for the step summary
     for key in sorted(set(throughput_keys(baseline))
                       | set(throughput_keys(current))):
         if key not in baseline or key not in current:
@@ -90,6 +122,7 @@ def main() -> int:
         floor = base * (1.0 - args.tolerance)
         print(f"perf_gate: {key} baseline {base:.0f}, "
               f"current {cur:.0f} ({change:+.1%}, floor {floor:.0f})")
+        rows.append((key, base, cur, change))
         if cur < floor:
             failed.append(key)
     for extra in ("sweep_wall_seconds", "sweep_threads"):
@@ -97,6 +130,7 @@ def main() -> int:
             print(f"perf_gate: {extra}: baseline {baseline[extra]}, "
                   f"current {current[extra]} (informational)")
 
+    write_step_summary(rows, failed, mismatched, args.tolerance)
     if mismatched:
         print(f"perf_gate: FAIL — throughput key sets differ "
               f"({', '.join(mismatched)}). If a scenario was added, renamed "

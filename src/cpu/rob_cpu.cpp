@@ -104,48 +104,195 @@ void RobCpu::tick_mem_cycle(Cycle mem_now) {
   }
 }
 
-Cycle RobCpu::stalled_until(Cycle now) const {
-  if (finished()) return now;
-  // Retirement progresses if the oldest load was answered (the pop alone is
-  // a state change) or instructions short of the fence remain unretired.
-  if (!loads_.empty() && loads_.front().answered) return now;
-  const std::uint64_t fence =
-      loads_.empty() ? fetched_ : loads_.front().inst_index;
-  if (retired_ < std::min(fence, fetched_)) return now;
-  // Fetch progresses unless the trace is exhausted, the ROB is full, or the
-  // next record's memory queue is applying backpressure.
-  if (fetched_ >= total_insts_) return kNeverCycle;
-  if (fetched_ - retired_ >= params_.rob_entries) return kNeverCycle;
-  if (next_rec_ < trace_.records.size() && fetched_ == next_mem_inst_) {
-    const trace::TraceRecord& rec = trace_.records[next_rec_];
-    if (!mem_.can_accept(rec.addr, rec.op)) return kNeverCycle;
+namespace {
+// "No fence" / "no further record": larger than any instruction index.
+constexpr std::uint64_t kNoFence = ~std::uint64_t{0};
+}  // namespace
+
+RobCpu::GapState RobCpu::gap_state() const {
+  GapState s;
+  s.fetched = fetched_;
+  s.retired = retired_;
+  s.cpu_cycles = cpu_cycles_;
+  s.fetch_stalls = fetch_stalls_;
+  s.backpressure = backpressure_;
+  s.fence = kNoFence;
+  // The fence is the first *unanswered* load: do_retire pops the answered
+  // prefix before reading the front, and no flag changes inside a span.
+  for (const PendingLoad& p : loads_) {
+    if (!p.answered) {
+      s.fence = p.inst_index;
+      break;
+    }
   }
-  return now;
+  s.rec_inst = next_rec_ < trace_.records.size() ? next_mem_inst_ : kNoFence;
+  return s;
 }
 
-bool RobCpu::completion_stalled() const {
-  if (finished()) return false;
-  if (!loads_.empty() && loads_.front().answered) return false;
-  const std::uint64_t fence =
-      loads_.empty() ? fetched_ : loads_.front().inst_index;
-  if (retired_ < std::min(fence, fetched_)) return false;
-  // Retirement is fenced by an unanswered load (or there is nothing left to
-  // retire). Trace exhausted: only the fencing load's completion helps. ROB
-  // full: retirement (hence a completion) must free entries before fetch can
-  // resume. Backpressure is excluded — queue space frees on a channel tick.
-  if (fetched_ >= total_insts_) return true;
-  return fetched_ - retired_ >= params_.rob_entries;
+RobCpu::GapStop RobCpu::run_gap(GapState& s, std::uint64_t budget,
+                                bool assume_backpressure,
+                                std::uint64_t& cycles_run) const {
+  const std::uint64_t W = params_.fetch_width;
+  const std::uint64_t R = params_.rob_entries;
+  const std::uint64_t N = total_insts_;
+  cycles_run = 0;
+
+  // One exact core cycle: run_cpu_cycle with the record branch hooked.
+  // Returns false when the cycle would reach the trace record and
+  // `assume_backpressure` is off (nothing committed in that case).
+  const auto step = [&]() -> bool {
+    s.retired = std::min(s.retired + W, std::min(s.fence, s.fetched));
+    std::uint64_t fetch_budget = W;
+    while (fetch_budget > 0 && s.fetched < N) {
+      if (s.fetched - s.retired >= R) {
+        ++s.fetch_stalls;
+        break;
+      }
+      if (s.fetched == s.rec_inst) {
+        if (!assume_backpressure) return false;
+        ++s.backpressure;
+        break;
+      }
+      const std::uint64_t until_mem =
+          std::min(s.rec_inst, N) - s.fetched;
+      const std::uint64_t rob_space = R - (s.fetched - s.retired);
+      const std::uint64_t n = std::min({fetch_budget, until_mem, rob_space});
+      s.fetched += n;
+      fetch_budget -= n;
+      if (n == 0) break;
+    }
+    ++s.cpu_cycles;
+    ++cycles_run;
+    return true;
+  };
+
+  while (true) {
+    if (s.retired >= N) return GapStop::kFinished;
+    if (cycles_run >= budget) return GapStop::kBudget;
+    const std::uint64_t rem = budget - cycles_run;
+    const std::uint64_t limit = std::min(s.fence, s.fetched);
+
+    if (s.retired >= limit) {
+      // Retirement is stuck at the fence; the ROB occupancy seen by fetch is
+      // static, so the cycle shape repeats until fetch moves the state.
+      if (s.fetched >= N) {
+        // Trace exhausted behind an unanswered load: pure cpu_cycles burn.
+        if (!assume_backpressure) return GapStop::kStalled;
+        s.cpu_cycles += rem;
+        cycles_run += rem;
+        return GapStop::kBudget;
+      }
+      if (s.fetched - s.retired >= R) {
+        // ROB full behind the fence: one fetch stall per cycle, forever.
+        if (!assume_backpressure) return GapStop::kStalled;
+        s.cpu_cycles += rem;
+        s.fetch_stalls += rem;
+        cycles_run += rem;
+        return GapStop::kBudget;
+      }
+      if (s.fetched == s.rec_inst) {
+        // Parked at the record with retirement stuck.
+        if (!assume_backpressure) return GapStop::kRecord;
+        s.cpu_cycles += rem;
+        s.backpressure += rem;
+        cycles_run += rem;
+        return GapStop::kBudget;
+      }
+      // Fetch-only streaming: W clean instructions per cycle while neither
+      // the record/trace end nor the ROB cap is within one fetch.
+      const std::uint64_t L =
+          std::min({rem, (std::min(s.rec_inst, N) - s.fetched) / W,
+                    (R - (s.fetched - s.retired)) / W});
+      if (L == 0) {
+        if (!step()) return GapStop::kRecord;
+        continue;
+      }
+      s.fetched += W * L;
+      s.cpu_cycles += L;
+      cycles_run += L;
+      continue;
+    }
+
+    // Retirement progressing. Bulk the steady phase where both retire and
+    // fetch move a full W per cycle with no counters: needs a full-W retire
+    // (r + W within the fence and at or below the pre-fetch fetched_ — the
+    // gap between them is then invariant) and a full-W clean fetch (at
+    // least W instructions before the record/trace end; the ROB can never
+    // bind, since occupancy is invariant and already at most R).
+    const std::uint64_t T = std::min(s.rec_inst, N);
+    if (s.retired + W <= limit && T >= s.fetched + W) {
+      std::uint64_t L = std::min(rem, (T - s.fetched) / W);
+      if (s.fence != kNoFence) {
+        L = std::min(L, (s.fence - s.retired) / W);
+      } else {
+        // limit == fetched_: full retire needs r + W <= f at every cycle,
+        // and both advance W, so the entry check covers the whole run.
+      }
+      if (L >= 1) {
+        s.retired += W * L;
+        s.fetched += W * L;
+        s.cpu_cycles += L;
+        cycles_run += L;
+        continue;
+      }
+    }
+    if (!step()) return GapStop::kRecord;
+  }
 }
 
-void RobCpu::advance_stalled(Cycle mem_cycles) {
-  const std::uint64_t n = mem_cycles * params_.cpu_per_mem_clock;
-  cpu_cycles_ += n;
-  if (fetched_ >= total_insts_) return;  // nothing left to fetch: no counter
-  if (fetched_ - retired_ >= params_.rob_entries) {
-    fetch_stalls_ += n;
-  } else {
-    backpressure_ += n;
+RobCpu::Action RobCpu::next_action(Cycle now) const {
+  Action a;
+  if (finished()) return a;  // kStalled/kNeverCycle: the core is inert
+  GapState s = gap_state();
+  std::uint64_t run = 0;
+  const GapStop stop =
+      run_gap(s, kNoFence, /*assume_backpressure=*/false, run);
+  const std::uint64_t k = params_.cpu_per_mem_clock;
+  switch (stop) {
+    case GapStop::kRecord: {
+      a.cycle = now + run / k;
+      if (a.cycle == now) {
+        // The attempt happens this very memory cycle, so the queue-full
+        // answer is decided by the memory state as of now: classify it.
+        const trace::TraceRecord& rec = trace_.records[next_rec_];
+        if (!mem_.can_accept(rec.addr, rec.op)) {
+          a.kind = ActionKind::kBackpressured;
+          a.addr = rec.addr;
+          a.op = rec.op;
+          return a;
+        }
+      }
+      a.kind = ActionKind::kActs;
+      return a;
+    }
+    case GapStop::kFinished:
+      // cycles_run includes the finishing cycle; wake the driver at the
+      // memory cycle containing it so finished() flips under a real tick.
+      a.cycle = now + (run - 1) / k;
+      a.kind = ActionKind::kActs;
+      return a;
+    case GapStop::kStalled:
+      return a;
+    case GapStop::kBudget:
+      break;  // unreachable: the budget is unbounded
   }
+  return a;
+}
+
+void RobCpu::advance_to(Cycle now, Cycle target) {
+  if (target <= now || finished()) return;
+  // The first do_retire of the span pops the answered prefix; doing it here
+  // keeps loads_ consistent with the scalar image run_gap evolves.
+  while (!loads_.empty() && loads_.front().answered) loads_.pop_front();
+  GapState s = gap_state();
+  std::uint64_t run = 0;
+  run_gap(s, (target - now) * params_.cpu_per_mem_clock,
+          /*assume_backpressure=*/true, run);
+  fetched_ = s.fetched;
+  retired_ = s.retired;
+  cpu_cycles_ = s.cpu_cycles;
+  fetch_stalls_ = s.fetch_stalls;
+  backpressure_ = s.backpressure;
 }
 
 }  // namespace fgnvm::cpu

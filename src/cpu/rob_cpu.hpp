@@ -44,30 +44,46 @@ class RobCpu {
   /// with `mem_now`. No-op once finished.
   void tick_mem_cycle(Cycle mem_now);
 
-  /// True when the core is fully stalled (stalled_until == kNeverCycle) and
-  /// only a read completion can unstall it: retirement is fenced by an
-  /// unanswered load with the ROB full, or the trace is exhausted and
-  /// in-flight loads fence the remaining retirement. False for memory-queue
-  /// backpressure (queue space frees without a completion) and for any state
-  /// that can make progress. The windowed advance in the runner only spans
-  /// cores in this state — their stall classification cannot change before
-  /// the next completion.
-  bool completion_stalled() const;
+  /// How the core next touches the outside world (DESIGN.md §10).
+  enum class ActionKind : std::uint8_t {
+    kActs,           ///< ticks at `cycle`: submission attempt or finish
+    kBackpressured,  ///< at the next record now, but its queue is full
+    kStalled,        ///< only a read completion can change anything
+  };
 
-  /// Event-skipping support. Returns `now` when tick_mem_cycle(now) would
-  /// change architectural state (retire, fetch, or submit), and kNeverCycle
-  /// when the core is fully stalled — i.e. every core cycle would only bump
-  /// cpu_cycles_ plus exactly one stall counter, and nothing can change
-  /// until the memory system delivers a completion or frees queue space.
-  /// The core has no internal timers, so no other return value exists.
-  Cycle stalled_until(Cycle now) const;
+  /// Result of next_action(): the exact future of a purely compute-bound
+  /// core. For kActs, `cycle` is the memory cycle at which the core next
+  /// interacts with the memory system (reaches the can_accept probe of the
+  /// next trace record) or retires its final instruction; it is exact, not
+  /// a bound, assuming no completion is delivered before it. For
+  /// kBackpressured, `addr`/`op` identify the blocked record so the driver
+  /// can wake the core at that channel's next event. For kStalled the core
+  /// is — or deterministically becomes, with no interaction on the way —
+  /// blocked until a read completion arrives (`cycle` is kNeverCycle).
+  struct Action {
+    Cycle cycle = kNeverCycle;
+    ActionKind kind = ActionKind::kStalled;
+    Addr addr = 0;
+    OpType op = OpType::kRead;
+  };
 
-  /// Accounts `mem_cycles` skipped memory cycles for a stalled core exactly
-  /// as the per-cycle loop would: cpu_cycles advances, and the stall counter
-  /// the current blockage selects advances with it. Precondition:
-  /// stalled_until() == kNeverCycle and the memory system's observable state
-  /// (completions, queue occupancy) does not change over the skipped span.
-  void advance_stalled(Cycle mem_cycles);
+  /// Analytically fast-forwards the deterministic retire/fetch schedule
+  /// from memory cycle `now` (state as of after tick_mem_cycle(now - 1))
+  /// and classifies the core's next externally visible action. O(answered
+  /// prefix + phase transitions), independent of the gap length. The result
+  /// is invalidated by any completion delivery: recompute after complete().
+  Action next_action(Cycle now) const;
+
+  /// Jumps the core over memory cycles [now, target) in one step,
+  /// bit-identical to ticking them one at a time: instruction/cycle
+  /// counters, fetch-stall and backpressure accounting all advance exactly
+  /// as the per-cycle loop would. Preconditions: no completion is delivered
+  /// inside the span, and the span contains no submission — either it ends
+  /// at or before next_action().cycle, or the core is backpressured at the
+  /// next record for the whole span (the driver wakes it no later than the
+  /// blocked channel's next event, so the queue-full answer cannot change
+  /// mid-span).
+  void advance_to(Cycle now, Cycle target);
 
   bool finished() const;
 
@@ -83,6 +99,38 @@ class RobCpu {
   void run_cpu_cycle(Cycle mem_now);
   void do_retire();
   void do_fetch(Cycle mem_now);
+
+  /// Scalar image of the state run_cpu_cycle mutates during a pure-compute
+  /// span (no submissions, no completions). The loads_ deque reduces to the
+  /// `fence`: during such a span nothing is pushed, only the initially
+  /// answered prefix pops, and the first unanswered load's index is the
+  /// only thing retirement reads.
+  struct GapState {
+    std::uint64_t fetched = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t cpu_cycles = 0;
+    std::uint64_t fetch_stalls = 0;
+    std::uint64_t backpressure = 0;
+    std::uint64_t fence = 0;     // first unanswered load's index, or kNoFence
+    std::uint64_t rec_inst = 0;  // next_mem_inst_, or kNoFence if trace done
+  };
+  enum class GapStop : std::uint8_t {
+    kBudget,    // ran `budget` cycles without an interaction
+    kRecord,    // the next cycle reaches the trace record (not committed)
+    kFinished,  // the last committed cycle retired the final instruction
+    kStalled,   // no further change possible without a completion
+  };
+
+  GapState gap_state() const;
+  /// Runs up to `budget` pure-compute core cycles on `s`, bit-identical to
+  /// run_cpu_cycle minus the memory interaction, in O(phase transitions).
+  /// With `assume_backpressure`, reaching the trace record charges one
+  /// backpressure stall per cycle and keeps going (the caller guarantees
+  /// the queue stays full for the whole span); otherwise the walk stops
+  /// *before* the record cycle and reports kRecord. `cycles_run` counts
+  /// committed cycles (the finishing cycle included, a kRecord cycle not).
+  GapStop run_gap(GapState& s, std::uint64_t budget, bool assume_backpressure,
+                  std::uint64_t& cycles_run) const;
 
   struct PendingLoad {
     std::uint64_t inst_index;  // global index of the load instruction

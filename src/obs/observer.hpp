@@ -184,6 +184,10 @@ class ChannelCollector {
     return hists_.at(static_cast<std::size_t>(c));
   }
   std::uint64_t open_requests() const { return open_.size(); }
+  /// Pre-sizes the open-request map. The live set is bounded by the
+  /// channel's queue capacities, so one up-front reservation stops
+  /// steady-state rehash churn on the hot path.
+  void reserve_open(std::size_t n) { open_.reserve(n); }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t coalesced() const { return coalesced_; }
   std::uint64_t dropped_records() const { return dropped_; }

@@ -151,29 +151,49 @@ RunResult run_workload_loop(const trace::Trace& trace,
     core.tick_mem_cycle(t);
     mem.tick(t);
     Cycle next = t + 1;
+    // Fast-forward: classify the core's next externally visible action and
+    // jump straight to it, bounded by the memory side's own schedule so no
+    // completion delivery (which would invalidate the classification) is
+    // skipped over. A finished core is inert — treat it as kStalled.
+    cpu::RobCpu::Action act;
+    if (skip && !core.finished()) act = core.next_action(next);
     if (skip &&
-        (core.finished() || core.stalled_until(next) == kNeverCycle)) {
+        !(act.kind == cpu::RobCpu::ActionKind::kActs && act.cycle <= next)) {
       bool advanced = false;
-      // Windowed advance: while the core can only be woken by a completion,
-      // run every channel along its own event chain up to the earliest cycle
-      // one could be delivered, instead of returning to this loop at each
-      // global event. Requires a valid bound — when no read is queued or in
-      // flight anywhere (write drain), fall through to the event path so the
+      // Windowed advance: run every channel along its own event chain up to
+      // the earliest cycle the core could be disturbed — a completion
+      // delivery (completion_bound), the blocked channel's next chance to
+      // free queue space (accept_event), or the core's own next submission
+      // (act.cycle) — instead of returning to this loop at each global
+      // event. Requires a valid bound; during pure write drain with the
+      // core finished or stalled, fall through to the event path so the
       // final mem_cycles matches the per-event schedule.
-      if (windows && (core.finished() || core.completion_stalled())) {
-        const Cycle bound = mem.completion_bound(t);
-        if (bound != kNeverCycle && std::min(bound, max_mem_cycles) > next) {
-          next = std::min(bound, max_mem_cycles);
+      if (windows) {
+        Cycle horizon = mem.completion_bound(t);
+        if (act.kind == cpu::RobCpu::ActionKind::kBackpressured) {
+          horizon = std::min(horizon, mem.accept_event(act.addr));
+        } else if (act.kind == cpu::RobCpu::ActionKind::kActs) {
+          // completion_bound may be kNeverCycle here (no read in flight and
+          // none queued): the core still wakes the loop at act.cycle, so the
+          // horizon stays valid and never overshoots the exit cycle.
+          horizon = std::min(horizon, act.cycle);
+        }
+        if (horizon != kNeverCycle &&
+            std::min(horizon, max_mem_cycles) > next) {
+          next = std::min(horizon, max_mem_cycles);
           mem.advance_channels_to(next);
-          if (!core.finished()) core.advance_stalled(next - (t + 1));
+          if (!core.finished()) core.advance_to(t + 1, next);
           advanced = true;
         }
       }
       if (!advanced) {
-        const Cycle event = mem.next_event(t);
+        Cycle event = mem.next_event(t);
+        if (act.kind == cpu::RobCpu::ActionKind::kActs) {
+          event = std::min(event, act.cycle);
+        }
         if (event > next && event != kNeverCycle) {
           next = std::min(event, max_mem_cycles);
-          if (!core.finished()) core.advance_stalled(next - (t + 1));
+          if (!core.finished()) core.advance_to(t + 1, next);
         }
       }
     }
@@ -208,89 +228,186 @@ MultiProgramResult run_multiprogrammed_loop(
     });
   }
 
-  const auto all_finished = [&]() {
-    return std::all_of(cores.begin(), cores.end(),
-                       [](const auto& c) { return c->finished(); });
-  };
-  const bool windows = false;
   std::vector<mem::MemRequest> done;
   // Completions routed by cpu_tag, so each core scans only its own requests
-  // instead of every core scanning the full drain.
+  // instead of every core scanning the full drain. Reserved up front: the
+  // per-drain read count is bounded by the per-channel read queue capacity.
   std::vector<std::vector<mem::MemRequest>> per_core(cores.size());
+  for (auto& bucket : per_core) {
+    bucket.reserve(sys_cfg.controller.read_queue_cap *
+                   sys_cfg.geometry.channels);
+  }
+  const auto build_result = [&](Cycle mem_cycles) {
+    MultiProgramResult r;
+    r.mem_cycles = mem_cycles;
+    r.energy = mem.energy(mem_cycles);
+    r.controller = mem.controller_stats();
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      r.workloads.push_back(traces[i].name);
+      r.ipc.push_back(cores[i]->ipc());
+      r.cpu_cycles.push_back(cores[i]->cpu_cycles());
+    }
+    if (obs::Observer* o = mem.observer()) {
+      o->set_run_info("multiprogram", mem.config().name);
+      o->set_instruction_source(nullptr);  // captures the loop-local cores
+    }
+    r.obs = mem.observer_ptr();
+    return r;
+  };
+  const auto route_completions = [&]() {
+    mem.drain_completed(done);
+    if (done.empty()) return false;
+    for (auto& bucket : per_core) bucket.clear();
+    for (const mem::MemRequest& r : done) {
+      if (r.is_read() && r.cpu_tag < per_core.size()) {
+        per_core[r.cpu_tag].push_back(r);
+      }
+    }
+    return true;
+  };
+
+  if (!skip) {
+    // Cycle-accurate reference: every core ticks every cycle.
+    const auto all_finished = [&]() {
+      return std::all_of(cores.begin(), cores.end(),
+                         [](const auto& c) { return c->finished(); });
+    };
+    Cycle t = 0;
+    while (!all_finished() || !mem.idle()) {
+      if (t >= max_mem_cycles) {
+        throw std::runtime_error(
+            "run_multiprogrammed: exceeded max_mem_cycles");
+      }
+      if (route_completions()) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+          cores[i]->complete(per_core[i]);
+        }
+      }
+      for (auto& core : cores) {
+        core->tick_mem_cycle(t);
+      }
+      mem.tick(t);
+      ++t;
+    }
+    return build_result(t);
+  }
+
+  // Indexed wake schedule: each core carries a due cycle (the memory cycle
+  // of its next externally visible action, kNeverCycle while only a read
+  // completion can wake it) and a synced watermark (the first memory cycle
+  // it has not yet executed). An iteration ticks only the cores that are
+  // due or just received a completion; everyone else is fast-forwarded
+  // lazily when next woken (`advance_to` is bit-identical to ticking).
+  // With an observer attached every unfinished core is woken each
+  // iteration, so the instruction source reads exact values at every
+  // sampled epoch.
+  using Action = cpu::RobCpu::Action;
+  using ActionKind = cpu::RobCpu::ActionKind;
+  const bool windows = mem.lazy_scheduling();
+  const bool lazy_cores = mem.observer() == nullptr;
+  const std::size_t n = cores.size();
+  std::vector<Cycle> due(n, 0);
+  std::vector<Cycle> synced(n, 0);
+  std::vector<Action> acts(n);
+  std::vector<std::uint8_t> woken(n, 0);
+  std::size_t unfinished = n;
+  const auto catch_up = [&](std::size_t i, Cycle c) {
+    if (synced[i] < c) {
+      cores[i]->advance_to(synced[i], c);
+      synced[i] = c;
+    }
+  };
 
   Cycle t = 0;
-  while (!all_finished() || !mem.idle()) {
+  while (unfinished > 0 || !mem.idle()) {
     if (t >= max_mem_cycles) {
       throw std::runtime_error("run_multiprogrammed: exceeded max_mem_cycles");
     }
-    mem.drain_completed(done);
-    if (!done.empty()) {
-      for (auto& bucket : per_core) bucket.clear();
-      for (const mem::MemRequest& r : done) {
-        if (r.is_read() && r.cpu_tag < per_core.size()) {
-          per_core[r.cpu_tag].push_back(r);
-        }
+    const bool delivered = route_completions();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cores[i]->finished()) {
+        woken[i] = 0;
+        continue;
       }
-      for (std::size_t i = 0; i < cores.size(); ++i) {
+      // A completion invalidates the cached action (retirement unblocks, so
+      // the core may reach its next record sooner); catch up to the present
+      // first so the answered flag lands in a state identical to eager.
+      if (delivered && !per_core[i].empty()) {
+        catch_up(i, t);
         cores[i]->complete(per_core[i]);
+        woken[i] = 1;
+      } else {
+        woken[i] = !lazy_cores || due[i] <= t;
       }
-    }
-    for (auto& core : cores) {
-      core->tick_mem_cycle(t);
+      if (woken[i]) {
+        catch_up(i, t);
+        cores[i]->tick_mem_cycle(t);
+        synced[i] = t + 1;
+      }
     }
     mem.tick(t);
+    // Re-arm the cores that ran; refresh every backpressured core (woken or
+    // not): another core's submission can pull the blocked channel's tick
+    // earlier, and a tick this very cycle may already have freed space —
+    // probe can_accept so the wake lands on the first acceptable cycle.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cores[i]->finished()) {
+        if (woken[i]) --unfinished;
+        due[i] = kNeverCycle;
+        acts[i].kind = ActionKind::kStalled;
+        continue;
+      }
+      if (woken[i]) {
+        acts[i] = cores[i]->next_action(t + 1);
+        due[i] = acts[i].kind == ActionKind::kActs ? acts[i].cycle
+                                                   : kNeverCycle;
+      }
+      if (acts[i].kind == ActionKind::kBackpressured) {
+        if (mem.can_accept(acts[i].addr, acts[i].op)) {
+          due[i] = t + 1;
+        } else if (windows) {
+          due[i] = std::max(mem.accept_event(acts[i].addr), t + 1);
+        } else {
+          due[i] = t + 1;
+        }
+      }
+    }
+    Cycle min_due = kNeverCycle;
+    for (const Cycle d : due) min_due = std::min(min_due, d);
     Cycle next = t + 1;
-    if (skip) {
-      const bool all_blocked = std::all_of(
-          cores.begin(), cores.end(), [&](const auto& c) {
-            return c->finished() || c->stalled_until(next) == kNeverCycle;
-          });
-      if (all_blocked) {
-        bool advanced = false;
-        if (windows && std::all_of(cores.begin(), cores.end(),
-                                   [](const auto& c) {
-                                     return c->finished() ||
-                                            c->completion_stalled();
-                                   })) {
-          const Cycle bound = mem.completion_bound(t);
-          if (bound != kNeverCycle && std::min(bound, max_mem_cycles) > next) {
-            next = std::min(bound, max_mem_cycles);
-            mem.advance_channels_to(next);
-            for (auto& core : cores) {
-              if (!core->finished()) core->advance_stalled(next - (t + 1));
-            }
-            advanced = true;
-          }
+    if (lazy_cores) {
+      bool advanced = false;
+      if (windows) {
+        // Windowed advance: run every channel along its own event chain up
+        // to the earliest cycle any core could be disturbed or act. Valid
+        // bounds only — during pure write drain with every core stalled or
+        // finished, fall through to the event path so the final mem_cycles
+        // matches the per-event schedule.
+        const Cycle horizon = std::min(mem.completion_bound(t), min_due);
+        if (horizon != kNeverCycle &&
+            std::min(horizon, max_mem_cycles) > next) {
+          next = std::min(horizon, max_mem_cycles);
+          mem.advance_channels_to(next);
+          advanced = true;
         }
-        if (!advanced) {
-          const Cycle event = mem.next_event(t);
-          if (event > next && event != kNeverCycle) {
-            next = std::min(event, max_mem_cycles);
-            for (auto& core : cores) {
-              if (!core->finished()) core->advance_stalled(next - (t + 1));
-            }
-          }
+      }
+      if (!advanced) {
+        const Cycle event = std::min(mem.next_event(t), min_due);
+        if (event > next && event != kNeverCycle) {
+          next = std::min(event, max_mem_cycles);
         }
+      }
+    } else {
+      // Observer mode: cores tick every iteration, so only skip spans the
+      // memory side proves empty (the pre-fast-forward behaviour).
+      const Cycle event = std::min(mem.next_event(t), min_due);
+      if (event > next && event != kNeverCycle) {
+        next = std::min(event, max_mem_cycles);
       }
     }
     t = next;
   }
-
-  MultiProgramResult r;
-  r.mem_cycles = t;
-  r.energy = mem.energy(t);
-  r.controller = mem.controller_stats();
-  for (std::size_t i = 0; i < cores.size(); ++i) {
-    r.workloads.push_back(traces[i].name);
-    r.ipc.push_back(cores[i]->ipc());
-    r.cpu_cycles.push_back(cores[i]->cpu_cycles());
-  }
-  if (obs::Observer* o = mem.observer()) {
-    o->set_run_info("multiprogram", mem.config().name);
-    o->set_instruction_source(nullptr);  // captures the loop-local cores
-  }
-  r.obs = mem.observer_ptr();
-  return r;
+  return build_result(t);
 }
 
 RunResult run_memory_only_loop(const trace::Trace& trace,

@@ -19,9 +19,9 @@ namespace fgnvm::sim {
 /// How the simulation loops advance time.
 ///  * kCycleAccurate — tick every memory cycle (the reference semantics).
 ///  * kEventSkip     — jump from event to event via MemorySystem::next_event
-///                     and RobCpu::stalled_until; produces bit-identical
-///                     results by construction (next_event never overshoots
-///                     an actionable cycle).
+///                     and RobCpu::next_action/advance_to (DESIGN.md §10);
+///                     produces bit-identical results by construction
+///                     (neither side ever overshoots an actionable cycle).
 ///  * kAuto          — kEventSkip, unless the FGNVM_PARANOID environment
 ///                     variable is set non-empty (and not "0"), in which
 ///                     case every run executes BOTH loops and throws

@@ -77,6 +77,9 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
   if (cfg_.obs.enabled) {
     obs_ = std::make_shared<obs::Observer>(cfg_.obs, channels_.size());
     for (std::uint64_t ch = 0; ch < channels_.size(); ++ch) {
+      // A channel can hold at most its queue capacities in open requests.
+      obs_->channel(ch)->reserve_open(cfg_.controller.read_queue_cap +
+                                      cfg_.controller.write_queue_cap);
       channels_[ch]->set_collector(obs_->channel(ch));
     }
   }

@@ -129,6 +129,62 @@ TEST_P(EquivTest, RunMultiprogrammedBitIdentical) {
   }
 }
 
+// Compute-bound coverage: low-MPKI profiles spend tens of core cycles
+// between LLC misses — the regime the analytic core fast-forward
+// (RobCpu::next_action / advance_to, DESIGN.md §10) skips instead of
+// ticking. These presets re-run the equivalence promise where fast-forward
+// dominates: single-core, a homogeneous all-compute-bound mix, and a mixed
+// intensity mix where lazily-parked cores coexist with memory-bound ones.
+std::vector<trace::Trace> compute_bound_workloads() {
+  return {
+      trace::generate_trace(trace::spec2006_profile("wrf"), 1200),
+      trace::generate_trace(trace::spec2006_profile("sphinx3"), 1200),
+  };
+}
+
+class ComputeBoundEquivTest : public EquivTest {};
+
+TEST_P(ComputeBoundEquivTest, RunWorkloadBitIdentical) {
+  const sys::SystemConfig cfg = config();
+  for (const trace::Trace& tr : compute_bound_workloads()) {
+    const sim::RunResult cyc = sim::run_workload(
+        tr, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
+    for (const sim::LoopMode mode : kOtherModes) {
+      const sim::RunResult other =
+          sim::run_workload(tr, cfg, {}, 500'000'000, mode);
+      EXPECT_EQ(sim::diff_results(cyc, other), "")
+          << tr.name << " vs " << mode_name(mode);
+    }
+  }
+}
+
+TEST_P(ComputeBoundEquivTest, RunMultiprogrammedBitIdentical) {
+  const sys::SystemConfig cfg = config();
+  const trace::Trace wrf =
+      trace::generate_trace(trace::spec2006_profile("wrf"), 1200);
+  const std::vector<std::vector<trace::Trace>> mixes = {
+      // Homogeneous: every core compute-bound, the wake schedule is all
+      // fast-forward jumps.
+      {wrf, wrf, wrf, wrf},
+      // Mixed intensity: memory-bound cores keep the channels busy while
+      // compute-bound cores park with far-future due cycles.
+      {wrf, trace::generate_trace(trace::spec2006_profile("milc"), 1200),
+       trace::generate_trace(trace::spec2006_profile("sphinx3"), 1200),
+       trace::generate_trace(trace::spec2006_profile("omnetpp"), 1200)},
+  };
+  for (const auto& mix : mixes) {
+    const sim::MultiProgramResult cyc = sim::run_multiprogrammed(
+        mix, cfg, {}, 500'000'000, sim::LoopMode::kCycleAccurate);
+    for (const sim::LoopMode mode : kOtherModes) {
+      const sim::MultiProgramResult other =
+          sim::run_multiprogrammed(mix, cfg, {}, 500'000'000, mode);
+      EXPECT_EQ(sim::diff_results(cyc, other), "")
+          << mix.size() << "-core mix starting " << mix[0].name << " vs "
+          << mode_name(mode);
+    }
+  }
+}
+
 // The parallel channel advance promises byte-identical results at any
 // thread count (channels buffer completions independently; drains merge in
 // channel order). Compare every entry point at 1 vs 4 run threads directly,
@@ -177,5 +233,13 @@ std::vector<std::string> preset_names() {
 INSTANTIATE_TEST_SUITE_P(Presets, EquivTest,
                          ::testing::ValuesIn(preset_names()),
                          [](const auto& info) { return info.param; });
+
+// Fast-forward-heavy presets only: single-channel, windowed multi-channel,
+// and the threaded channel advance, for both bank kinds.
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ComputeBoundEquivTest,
+    ::testing::Values("fgnvm_4x4", "dram_salp8", "fgnvm_4x4_ch4",
+                      "fgnvm_4x4_ch4_mt"),
+    [](const auto& info) { return info.param; });
 
 }  // namespace

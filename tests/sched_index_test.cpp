@@ -20,12 +20,15 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "cpu/rob_cpu.hpp"
 #include "mem/geometry.hpp"
 #include "mem/timing.hpp"
 #include "nvm/fgnvm_bank.hpp"
 #include "sched/controller.hpp"
 #include "sys/memory_system.hpp"
 #include "sys/presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
 
 namespace fgnvm::sched {
 namespace {
@@ -275,6 +278,101 @@ TEST(MemorySystemDifferential, LazyAndWindowedMatchEagerAcrossChannels) {
           << cfg.name << " threaded seed " << seed;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Core fast-forward differential: RobCpu::next_action's classification is
+// checked against eager cycle-by-cycle ticking at EVERY memory cycle of a
+// full run. The contract (DESIGN.md §10): a kActs prediction for a future
+// cycle means nothing externally visible (submission, backpressure stall,
+// finish) happens before it — never overshoot — and a kActs/kBackpressured
+// prediction for the current cycle means the action happens exactly now —
+// never undershoot either, the prediction is exact. kStalled means nothing
+// can happen without a completion. Recomputing each cycle makes every
+// prediction checkable against the very next tick regardless of when
+// completions land.
+
+TEST(CoreFastForwardDifferential, NextActionNeverOvershoots) {
+  using Action = cpu::RobCpu::Action;
+  using ActionKind = cpu::RobCpu::ActionKind;
+  std::uint64_t checked_acts = 0;     // exact kActs firings observed
+  std::uint64_t checked_stalled = 0;  // kStalled cycles observed quiet
+  std::uint64_t checked_bp = 0;       // kBackpressured stalls observed
+
+  // Tiny queues on the second config force genuine backpressure phases.
+  sys::SystemConfig tiny = sys::fgnvm_config(4, 4);
+  tiny.controller.read_queue_cap = 4;
+  tiny.controller.write_queue_cap = 6;
+  tiny.controller.wq_high = 4;
+  tiny.controller.wq_low = 1;
+  tiny.name += "_tinyq";
+
+  for (const char* prof : {"wrf", "milc", "omnetpp"}) {
+    const trace::Trace tr =
+        trace::generate_trace(trace::spec2006_profile(prof), 800);
+    for (const sys::SystemConfig& cfg :
+         {sys::fgnvm_config(4, 4), tiny, sys::dram_config(4)}) {
+      sys::MemorySystem mem(cfg);
+      mem.set_eager_ticking(true);
+      cpu::RobCpu core(tr, {}, mem);
+      std::vector<mem::MemRequest> done;
+      Cycle t = 0;
+      while (!core.finished() || !mem.idle()) {
+        ASSERT_LT(t, 5'000'000u) << prof << " / " << cfg.name;
+        mem.drain_completed(done);
+        core.complete(done);
+        const bool fin0 = core.finished();
+        Action act;
+        if (!fin0) act = core.next_action(t);
+        const std::uint64_t subs0 =
+            mem.submitted_reads() + mem.submitted_writes();
+        const std::uint64_t bp0 = core.mem_backpressure_stalls();
+        core.tick_mem_cycle(t);
+        if (!fin0) {
+          const bool submitted =
+              mem.submitted_reads() + mem.submitted_writes() > subs0;
+          const bool backpressured = core.mem_backpressure_stalls() > bp0;
+          const bool finished_now = core.finished();
+          switch (act.kind) {
+            case ActionKind::kActs:
+              ASSERT_GE(act.cycle, t) << prof << " / " << cfg.name;
+              if (act.cycle == t) {
+                EXPECT_TRUE(submitted || finished_now)
+                    << prof << " / " << cfg.name << " cycle " << t
+                    << ": predicted to act now but did not";
+                ++checked_acts;
+              } else {
+                EXPECT_FALSE(submitted || backpressured || finished_now)
+                    << prof << " / " << cfg.name << " cycle " << t
+                    << ": acted before predicted cycle " << act.cycle;
+              }
+              break;
+            case ActionKind::kBackpressured:
+              EXPECT_EQ(act.cycle, t);
+              EXPECT_TRUE(backpressured)
+                  << prof << " / " << cfg.name << " cycle " << t
+                  << ": predicted a refused attempt, none observed";
+              EXPECT_FALSE(submitted);
+              ++checked_bp;
+              break;
+            case ActionKind::kStalled:
+              EXPECT_FALSE(submitted || backpressured || finished_now)
+                  << prof << " / " << cfg.name << " cycle " << t
+                  << ": predicted stalled but acted";
+              ++checked_stalled;
+              break;
+          }
+        }
+        mem.tick(t);
+        ++t;
+      }
+      EXPECT_TRUE(core.finished()) << prof << " / " << cfg.name;
+    }
+  }
+  // Every classification must actually have been exercised.
+  EXPECT_GT(checked_acts, 0u);
+  EXPECT_GT(checked_stalled, 0u);
+  EXPECT_GT(checked_bp, 0u);
 }
 
 }  // namespace
