@@ -3,6 +3,7 @@
 // end-to-end simulation throughput figure (simulated memory ops per second).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "mem/geometry.hpp"
@@ -228,6 +229,92 @@ BENCHMARK(BM_MultiChannelAdvance)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_AdvancePhase(benchmark::State& state) {
+  // Analytic fast-forward (DESIGN.md §12): a write-heavy closed-loop run is
+  // dominated by high-watermark drains, which the phase engine replays in
+  // closed form instead of tick by tick. Arg 0/1 = engine forced off/on via
+  // the FGNVM_PHASE_ENGINE override the controller reads at construction;
+  // the simulated schedule is bit-identical either way, only host time
+  // changes.
+  setenv("FGNVM_PHASE_ENGINE", state.range(0) ? "1" : "0", 1);
+  trace::WorkloadProfile p = trace::spec2006_profile("mcf");
+  p.name = "write_drain";
+  p.write_fraction = 0.8;
+  const trace::Trace tr = trace::generate_trace(p, 4096);
+  const sys::SystemConfig cfg = deep_queue_config(8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_memory_only(tr, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  unsetenv("FGNVM_PHASE_ENGINE");
+}
+BENCHMARK(BM_AdvancePhase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// SoA-vs-AoS candidate probing: the pre-index scheduler walked pooled
+// MemRequest objects and probed through the virtual bank interface; the
+// request index caches each slot's (sag, row, line-CD mask) image in
+// parallel arrays and probes the concrete bank's inline keyed variants.
+// Same 64-candidate scan, same answers — the pair measures the layout +
+// dispatch difference in isolation.
+
+std::vector<mem::DecodedAddr> probe_scan_addrs(const mem::MemGeometry& geo) {
+  const mem::AddressDecoder dec(geo);
+  std::vector<mem::DecodedAddr> addrs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    addrs.push_back(
+        dec.decode(dec.encode(0, 0, 0, (i * 7) % geo.rows_per_bank,
+                              i % (geo.row_bytes / geo.line_bytes))));
+  }
+  return addrs;
+}
+
+void BM_ProbeScanAoS(benchmark::State& state) {
+  const mem::MemGeometry geo = bench_geometry(8, 8);
+  nvm::FgNvmBank bank(geo, mem::TimingParams{}, nvm::AccessModes::all_on());
+  const nvm::Bank& vbank = bank;  // virtual dispatch, as the old scans used
+  std::vector<mem::MemRequest> pool;
+  for (const mem::DecodedAddr& a : probe_scan_addrs(geo)) {
+    mem::MemRequest r;
+    r.addr = a;
+    pool.push_back(r);
+  }
+  Cycle now = 0;
+  for (auto _ : state) {
+    Cycle m = kNeverCycle;
+    for (const mem::MemRequest& r : pool) {
+      m = std::min(m, vbank.earliest_column(r.addr, OpType::kRead, now));
+    }
+    benchmark::DoNotOptimize(m);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_ProbeScanAoS);
+
+void BM_ProbeScanSoA(benchmark::State& state) {
+  const mem::MemGeometry geo = bench_geometry(8, 8);
+  nvm::FgNvmBank bank(geo, mem::TimingParams{}, nvm::AccessModes::all_on());
+  std::vector<std::uint64_t> sag;
+  std::vector<std::uint64_t> cds;
+  for (const mem::DecodedAddr& a : probe_scan_addrs(geo)) {
+    sag.push_back(a.sag);
+    cds.push_back(((a.cd_count >= 64 ? ~0ULL : (1ULL << a.cd_count) - 1))
+                  << a.cd);
+  }
+  Cycle now = 0;
+  for (auto _ : state) {
+    Cycle m = kNeverCycle;
+    for (std::size_t i = 0; i < sag.size(); ++i) {
+      m = std::min(m,
+                   bank.earliest_column_key(sag[i], cds[i], OpType::kRead, now));
+    }
+    benchmark::DoNotOptimize(m);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations() * sag.size());
+}
+BENCHMARK(BM_ProbeScanSoA);
 
 void BM_EndToEndSimulation(benchmark::State& state) {
   const trace::Trace tr =

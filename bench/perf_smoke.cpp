@@ -1,12 +1,15 @@
 // Performance smoke test with machine-readable output.
 //
-// Measures five throughput figures and writes them as JSON so CI and
+// Measures six throughput figures and writes them as JSON so CI and
 // regression tooling can track them without parsing tables:
 //  * end-to-end simulator throughput: simulated memory operations per
 //    wall-clock second for the milc workload on the 4x4 FgNVM config;
 //  * deep-queue throughput: memory-only mcf runs on an 8x8 FgNVM with
 //    64-entry read / 128-entry write queues — the regime that stresses the
 //    scheduler's issue-selection and next_event paths;
+//  * write-drain throughput: a write-heavy (80%) mcf variant on the same
+//    deep-queue config — dominated by high-watermark drain windows, the
+//    regime the analytic write-drain phase replays in closed form;
 //  * multi-channel throughput: the milc workload on the same 4x4 config
 //    widened to 4 channels (serial advance, run_threads=1) — tracks the
 //    per-channel due caches and the windowed channel advance;
@@ -90,6 +93,29 @@ int main(int argc, char** argv) {
   const double deep_queue_mem_ops_per_sec =
       static_cast<double>(ops) * runs / deep_secs;
 
+  // Write-drain throughput: a write-heavy mcf variant on the deep-queue
+  // config — the stream crosses the high watermark over and over, so wall
+  // time is dominated by drain windows, the regime the analytic write-drain
+  // phase (DESIGN.md §12) replays in closed form.
+  trace::WorkloadProfile wd_profile = trace::spec2006_profile("mcf");
+  wd_profile.name = "write_drain";
+  wd_profile.write_fraction = 0.8;
+  const trace::Trace wd_tr = trace::generate_trace(wd_profile, ops);
+  (void)sim::run_memory_only(wd_tr, deep_cfg);  // warm-up
+  const auto tw = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = sim::run_memory_only(wd_tr, deep_cfg);
+    if (r.reads + r.writes == 0) {
+      std::cerr << "perf_smoke: write-drain run " << i
+                << " retired no memory ops — refusing to report throughput\n";
+      return 1;
+    }
+  }
+  const double wd_secs =
+      std::chrono::duration<double>(clock::now() - tw).count();
+  const double write_drain_mem_ops_per_sec =
+      static_cast<double>(ops) * runs / wd_secs;
+
   // Multi-channel throughput: the end-to-end workload spread over four
   // channels, serial advance — time here is dominated by how cheaply the
   // system skips not-due channels.
@@ -156,6 +182,8 @@ int main(int argc, char** argv) {
        << "  \"mem_ops_per_sec\": " << mem_ops_per_sec << ",\n"
        << "  \"deep_queue_mem_ops_per_sec\": " << deep_queue_mem_ops_per_sec
        << ",\n"
+       << "  \"write_drain_mem_ops_per_sec\": " << write_drain_mem_ops_per_sec
+       << ",\n"
        << "  \"multi_channel_mem_ops_per_sec\": "
        << multi_channel_mem_ops_per_sec << ",\n"
        << "  \"compute_bound_mem_ops_per_sec\": "
@@ -171,6 +199,9 @@ int main(int argc, char** argv) {
             << " x " << ops << " ops)\n"
             << "deep-queue mem-ops/sec: " << deep_queue_mem_ops_per_sec
             << " (" << runs << " x " << ops << " ops, 8x8, 64-entry queues)\n"
+            << "write-drain mem-ops/sec: " << write_drain_mem_ops_per_sec
+            << " (" << runs << " x " << ops
+            << " ops, 80% writes, deep queues)\n"
             << "multi-channel mem-ops/sec: " << multi_channel_mem_ops_per_sec
             << " (" << runs << " x " << ops << " ops, 4 channels, serial)\n"
             << "compute-bound mem-ops/sec: " << compute_bound_mem_ops_per_sec

@@ -11,8 +11,11 @@ with --update in the same change. Gains beyond the tolerance are reported
 but never fail the gate.
 
 When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), a per-key
-baseline/current/delta markdown table is appended to it, so perf movement
-is visible on the run page without downloading the artifact.
+baseline/current/delta/speedup markdown table is appended to it, so perf
+movement is visible on the run page without downloading the artifact. A key
+that improved by more than 2x draws a stale-baseline warning (never a
+failure): the committed numbers are so far below the machine's reality that
+the -15% floor no longer guards anything, so re-bless with --update.
 
 Usage:
     perf_gate.py --current BENCH_sim_throughput.json \
@@ -53,7 +56,10 @@ def load(path: Path) -> dict:
     return data
 
 
-def write_step_summary(rows, failed, mismatched, tolerance) -> None:
+STALE_SPEEDUP = 2.0  # a >2x gain usually means the baseline is stale
+
+
+def write_step_summary(rows, failed, mismatched, stale, tolerance) -> None:
     """Appends a per-key markdown table to $GITHUB_STEP_SUMMARY, if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -66,12 +72,16 @@ def write_step_summary(rows, failed, mismatched, tolerance) -> None:
                      f"{', '.join(failed)}")
     else:
         lines.append(f"**OK** — all keys within −{tolerance:.0%}")
-    lines += ["", "| key | baseline | current | delta |",
-              "| --- | ---: | ---: | ---: |"]
+    if stale:
+        lines += ["", f":warning: {', '.join(stale)} improved more than "
+                      f"{STALE_SPEEDUP:.0f}x over the baseline — it is "
+                      f"likely stale; re-bless with `--update`."]
+    lines += ["", "| key | baseline | current | delta | speedup |",
+              "| --- | ---: | ---: | ---: | ---: |"]
     for key, base, cur, change in rows:
-        mark = " :warning:" if key in failed else ""
+        mark = " :warning:" if key in failed or key in stale else ""
         lines.append(f"| {key} | {base:,.0f} | {cur:,.0f} "
-                     f"| {change:+.1%}{mark} |")
+                     f"| {change:+.1%} | {cur / base:.2f}x{mark} |")
     try:
         with open(path, "a", encoding="utf-8") as f:
             f.write("\n".join(lines) + "\n\n")
@@ -106,6 +116,7 @@ def main() -> int:
 
     failed = []
     mismatched = []
+    stale = []  # improved beyond STALE_SPEEDUP — baseline probably stale
     rows = []  # (key, baseline, current, change) for the step summary
     for key in sorted(set(throughput_keys(baseline))
                       | set(throughput_keys(current))):
@@ -121,16 +132,24 @@ def main() -> int:
         change = (cur - base) / base
         floor = base * (1.0 - args.tolerance)
         print(f"perf_gate: {key} baseline {base:.0f}, "
-              f"current {cur:.0f} ({change:+.1%}, floor {floor:.0f})")
+              f"current {cur:.0f} ({change:+.1%}, {cur / base:.2f}x, "
+              f"floor {floor:.0f})")
         rows.append((key, base, cur, change))
         if cur < floor:
             failed.append(key)
+        elif cur > base * STALE_SPEEDUP:
+            stale.append(key)
     for extra in ("sweep_wall_seconds", "sweep_threads"):
         if extra in baseline and extra in current:
             print(f"perf_gate: {extra}: baseline {baseline[extra]}, "
                   f"current {current[extra]} (informational)")
 
-    write_step_summary(rows, failed, mismatched, args.tolerance)
+    if stale:
+        print(f"perf_gate: WARNING — {', '.join(stale)} improved more than "
+              f"{STALE_SPEEDUP:.0f}x over the baseline; it is likely stale. "
+              f"Re-bless with --update so the gate keeps teeth.",
+              file=sys.stderr)
+    write_step_summary(rows, failed, mismatched, stale, args.tolerance)
     if mismatched:
         print(f"perf_gate: FAIL — throughput key sets differ "
               f"({', '.join(mismatched)}). If a scenario was added, renamed "

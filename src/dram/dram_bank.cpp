@@ -54,20 +54,14 @@ bool DramBank::row_open(const mem::DecodedAddr& a) const {
   return segments_sensed(a);
 }
 
-Cycle DramBank::earliest_activate(const mem::DecodedAddr& a, nvm::ActPurpose,
-                                  Cycle now, std::uint64_t) const {
-  const Subarray& s = subs_[a.sag];
-  Cycle t = refresh_clear(now);
-  if (s.open_row != kInvalidAddr && s.open_row != a.row) {
-    // A row switch precharges implicitly (ACT with auto-precharge-style
-    // sequencing): the command can issue once restore (tRAS) and write
-    // recovery (tWR) are done; the tRP delay lands inside issue_activate.
-    t = std::max({t, s.ras_until, s.wr_until});
-  }
+Cycle DramBank::earliest_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
+                                  Cycle now, std::uint64_t extra_cds) const {
+  // A row switch precharges implicitly (ACT with auto-precharge-style
+  // sequencing): the command can issue once restore (tRAS) and write
+  // recovery (tWR) are done; the tRP delay lands inside issue_activate.
   // Re-activating the same subarray mid-sense is not possible, and an
   // explicit (closed-page) precharge must have settled.
-  t = std::max({t, s.act_done, s.pre_done});
-  return t;
+  return earliest_activate_key(a.sag, a.row, 0, extra_cds, p, now);
 }
 
 void DramBank::issue_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
@@ -90,12 +84,7 @@ void DramBank::issue_activate(const mem::DecodedAddr& a, nvm::ActPurpose p,
 
 Cycle DramBank::earliest_column(const mem::DecodedAddr& a, OpType op,
                                 Cycle now) const {
-  const Subarray& s = subs_[a.sag];
-  Cycle t = refresh_clear(now);
-  t = std::max(t, s.act_done);
-  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
-  (void)op;
-  return t;
+  return earliest_column_key(a.sag, 0, op, now);
 }
 
 Cycle DramBank::issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) {

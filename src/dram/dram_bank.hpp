@@ -15,6 +15,7 @@
 // every tREFI the bank blocks for tRFC (pipelined catch-up when idle).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,43 @@ class DramBank final : public nvm::Bank {
                           Cycle now, std::uint64_t extra_cds = 0) const override;
   Cycle earliest_column(const mem::DecodedAddr& a, OpType op,
                         Cycle now) const override;
+
+  // Keyed probe variants with the same signatures the statically-dispatched
+  // controller uses for FgNvmBank (DESIGN.md §12): keyed by the request
+  // index's cached (sag, row, line-CD mask) image. DRAM has no CD dimension,
+  // so the masks are ignored.
+  bool segments_sensed_key(std::uint64_t sag, std::uint64_t row,
+                           std::uint64_t /*line_mask*/) const {
+    return subs_[sag].open_row == row;
+  }
+  Cycle earliest_column_key(std::uint64_t sag, std::uint64_t /*line_mask*/,
+                            OpType /*op*/, Cycle now) const {
+    const Subarray& s = subs_[sag];
+    Cycle t = refresh_clear(now);
+    t = std::max(t, s.act_done);
+    if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
+    return t;
+  }
+  Cycle earliest_activate_key(std::uint64_t sag, std::uint64_t row,
+                              std::uint64_t /*line_mask*/,
+                              std::uint64_t /*extra_cds*/,
+                              nvm::ActPurpose /*p*/, Cycle now) const {
+    const Subarray& s = subs_[sag];
+    Cycle t = refresh_clear(now);
+    if (s.open_row != kInvalidAddr && s.open_row != row) {
+      t = std::max({t, s.ras_until, s.wr_until});
+    }
+    return std::max({t, s.act_done, s.pre_done});
+  }
+  // DRAM column timing has no per-member (CD) component, so the decomposed
+  // probe is the base alone.
+  Cycle column_base_key(std::uint64_t sag, OpType op, Cycle now) const {
+    return earliest_column_key(sag, 0, op, now);
+  }
+  Cycle column_fold_key(std::uint64_t /*line_mask*/, OpType /*op*/,
+                        Cycle base) const {
+    return base;
+  }
   void issue_activate(const mem::DecodedAddr& a, nvm::ActPurpose p, Cycle at,
                       std::uint64_t extra_cds = 0) override;
   Cycle issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) override;

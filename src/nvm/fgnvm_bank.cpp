@@ -193,12 +193,4 @@ std::uint64_t FgNvmBank::active_cds(Cycle now) const {
   return n;
 }
 
-std::uint64_t FgNvmBank::open_row(std::uint64_t sag) const {
-  return sags_.at(sag).open_row;
-}
-
-std::uint64_t FgNvmBank::sensed_mask(std::uint64_t sag) const {
-  return sags_.at(sag).sensed;
-}
-
 }  // namespace fgnvm::nvm

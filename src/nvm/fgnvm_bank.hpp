@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,51 @@ class FgNvmBank final : public Bank {
                           std::uint64_t extra_cds = 0) const override;
   Cycle earliest_column(const mem::DecodedAddr& a, OpType op,
                         Cycle now) const override;
+
+  // Keyed probe variants (DESIGN.md §12): same answers as the DecodedAddr
+  // overloads, but keyed by the (sag, row, line-CD mask) image the request
+  // index caches per slot — the selection and candidate-recompute scans call
+  // these so a probe never rebuilds an address or a CD mask.
+  bool segments_sensed_key(std::uint64_t sag, std::uint64_t row,
+                           std::uint64_t line_mask) const;
+  Cycle earliest_column_key(std::uint64_t sag, std::uint64_t line_mask,
+                            OpType op, Cycle now) const;
+  Cycle earliest_activate_key(std::uint64_t sag, std::uint64_t row,
+                              std::uint64_t line_mask, std::uint64_t extra_cds,
+                              ActPurpose p, Cycle now) const;
+
+  // Decomposed column probe for batched same-SAG scans: column_base_key is
+  // the member-independent part (bank/SAG locks, tCCD, sense latch), shared
+  // by every member of a (bank, SAG) group; column_fold_key folds one
+  // member's CD locks on top. For any member,
+  //   earliest_column_key(sag, m, op, now)
+  //     == column_fold_key(m, op, column_base_key(sag, op, now)).
+  Cycle column_base_key(std::uint64_t sag, OpType op, Cycle now) const {
+    const SagState& s = sags_[sag];
+    Cycle t = std::max(now, bank_lock_);
+    if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
+    t = std::max(t, s.lock_until);
+    if (op == OpType::kRead) t = std::max(t, s.sense_ready);
+    return t;
+  }
+  Cycle column_fold_key(std::uint64_t line_mask, OpType op, Cycle base) const {
+    std::uint64_t cds = line_mask;
+    if (op == OpType::kRead) {
+      while (cds != 0) {
+        const int cd = std::countr_zero(cds);
+        cds &= cds - 1;
+        base = std::max(base, cd_write_lock_[static_cast<std::size_t>(cd)]);
+      }
+    } else {
+      while (cds != 0) {
+        const int cd = std::countr_zero(cds);
+        cds &= cds - 1;
+        base = std::max(base, cd_sense_lock_[static_cast<std::size_t>(cd)]);
+        base = std::max(base, cd_write_lock_[static_cast<std::size_t>(cd)]);
+      }
+    }
+    return base;
+  }
   void issue_activate(const mem::DecodedAddr& a, ActPurpose p, Cycle at,
                       std::uint64_t extra_cds = 0) override;
   Cycle issue_column(const mem::DecodedAddr& a, OpType op, Cycle at) override;
@@ -61,10 +107,15 @@ class FgNvmBank final : public Bank {
   const BankStats& stats() const override { return stats_; }
   const AccessModes& modes() const { return modes_; }
 
-  /// Open row of a SAG, or kInvalidAddr if none. Exposed for tests.
-  std::uint64_t open_row(std::uint64_t sag) const;
+  /// Open row of a SAG, or kInvalidAddr if none. Inline: the scheduler's
+  /// group scans call this once per active group per selection pass.
+  std::uint64_t open_row(std::uint64_t sag) const {
+    return sags_[sag].open_row;
+  }
   /// Sensed-CD bitmask of a SAG's open row. Exposed for tests.
-  std::uint64_t sensed_mask(std::uint64_t sag) const;
+  std::uint64_t sensed_mask(std::uint64_t sag) const {
+    return sags_[sag].sensed;
+  }
 
  private:
   /// Bitmask of CDs an activation serving `a` would sense/occupy, including
@@ -112,68 +163,70 @@ inline std::uint64_t FgNvmBank::needed_cds(const mem::DecodedAddr& a,
   return (line_cds(a) | extra_cds) & all_cds_mask_;
 }
 
+inline bool FgNvmBank::segments_sensed_key(std::uint64_t sag,
+                                           std::uint64_t row,
+                                           std::uint64_t line_mask) const {
+  const SagState& s = sags_[sag];
+  return s.open_row == row && (s.sensed & line_mask) == line_mask;
+}
+
 inline bool FgNvmBank::segments_sensed(const mem::DecodedAddr& a) const {
-  const SagState& s = sags_[a.sag];
-  if (s.open_row != a.row) return false;
-  const std::uint64_t need = line_cds(a);
-  return (s.sensed & need) == need;
+  return segments_sensed_key(a.sag, a.row, line_cds(a));
 }
 
 inline bool FgNvmBank::row_open(const mem::DecodedAddr& a) const {
   return sags_[a.sag].open_row == a.row;
 }
 
-inline Cycle FgNvmBank::earliest_activate(const mem::DecodedAddr& a,
-                                          ActPurpose p, Cycle now,
-                                          std::uint64_t extra_cds) const {
-  const SagState& s = sags_[a.sag];
+inline Cycle FgNvmBank::earliest_activate_key(std::uint64_t sag,
+                                              std::uint64_t row,
+                                              std::uint64_t line_mask,
+                                              std::uint64_t extra_cds,
+                                              ActPurpose p, Cycle now) const {
+  const SagState& s = sags_[sag];
   Cycle t = std::max(now, bank_lock_);
   t = std::max(t, s.lock_until);
   if (!modes_.multi_activation) t = std::max(t, global_act_lock_);
   if (p == ActPurpose::kRead) {
     // Sensing occupies the local bitline path of each needed CD; it cannot
     // overlap other sensing or write driving in the same CD.
-    std::uint64_t cds = needed_cds(a, extra_cds);
+    std::uint64_t cds = modes_.partial_activation
+                            ? (line_mask | extra_cds) & all_cds_mask_
+                            : all_cds_mask_;
     // An ACT on the already-open row only needs to sense the missing CDs.
-    if (s.open_row == a.row) cds &= ~s.sensed;
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) {
-        t = std::max(t, cd_sense_lock_[cd]);
-        t = std::max(t, cd_write_lock_[cd]);
-      }
+    if (s.open_row == row) cds &= ~s.sensed;
+    while (cds != 0) {
+      const int cd = std::countr_zero(cds);
+      cds &= cds - 1;
+      t = std::max(t, cd_sense_lock_[static_cast<std::size_t>(cd)]);
+      t = std::max(t, cd_write_lock_[static_cast<std::size_t>(cd)]);
     }
   }
   return t;
 }
 
+inline Cycle FgNvmBank::earliest_activate(const mem::DecodedAddr& a,
+                                          ActPurpose p, Cycle now,
+                                          std::uint64_t extra_cds) const {
+  return earliest_activate_key(
+      a.sag, a.row, p == ActPurpose::kRead ? line_cds(a) : 0, extra_cds, p,
+      now);
+}
+
+inline Cycle FgNvmBank::earliest_column_key(std::uint64_t sag,
+                                            std::uint64_t line_mask, OpType op,
+                                            Cycle now) const {
+  // Reads: data must be latched (sense_ready) and the SAG not mid-ACT or
+  // mid-write, and the CD's I/O path not driven by a write. Writes: the
+  // wordline (SAG) plus exclusive use of the CD bitline/IO path — a write
+  // cannot overlap sensing *or* another write there. Both split into the
+  // member-independent base and the per-CD fold.
+  return column_fold_key(line_mask, op, column_base_key(sag, op, now));
+}
+
 inline Cycle FgNvmBank::earliest_column(const mem::DecodedAddr& a, OpType op,
                                         Cycle now) const {
-  const SagState& s = sags_[a.sag];
-  Cycle t = std::max(now, bank_lock_);
-  if (any_col_issued_) t = std::max(t, last_col_ + timing_.tCCD);
-
-  if (op == OpType::kRead) {
-    // Data must be latched; the SAG must not be mid-ACT or mid-write; the
-    // CD's I/O path must not be driven by a write.
-    t = std::max(t, s.sense_ready);
-    t = std::max(t, s.lock_until);
-    std::uint64_t cds = line_cds(a);
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) t = std::max(t, cd_write_lock_[cd]);
-    }
-  } else {
-    // Write driving needs the wordline (SAG) plus exclusive use of the CD
-    // bitline/IO path — it cannot overlap sensing *or* another write there.
-    t = std::max(t, s.lock_until);
-    std::uint64_t cds = line_cds(a);
-    for (std::uint64_t cd = 0; cds != 0; ++cd, cds >>= 1) {
-      if (cds & 1) {
-        t = std::max(t, cd_sense_lock_[cd]);
-        t = std::max(t, cd_write_lock_[cd]);
-      }
-    }
-  }
-  return t;
+  return earliest_column_key(a.sag, line_cds(a), op, now);
 }
 
 }  // namespace fgnvm::nvm

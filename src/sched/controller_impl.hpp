@@ -6,11 +6,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sched/controller.hpp"
 
 namespace fgnvm::sched {
+
+namespace detail {
+
+/// True when BankT exposes the decomposed column probe (column_base_key /
+/// column_fold_key, see FgNvmBank): the row-list scans then hoist the
+/// member-independent base out of the walk and fold only the per-member CD
+/// locks inside it. The generic ControllerT<nvm::Bank> instantiation keeps
+/// the one-shot keyed probe — decomposability is a property of the concrete
+/// timing model, not of the interface.
+template <typename BankT>
+concept kDecomposedColumnProbe = requires(const BankT& bk) {
+  bk.column_base_key(std::uint64_t{0}, OpType::kRead, Cycle{0});
+  bk.column_fold_key(std::uint64_t{0}, OpType::kRead, Cycle{0});
+};
+
+}  // namespace detail
 
 template <typename BankT>
 ControllerT<BankT>::ControllerT(const mem::MemGeometry& geometry,
@@ -54,6 +71,8 @@ ControllerT<BankT>::ControllerT(const mem::MemGeometry& geometry,
   widx_.init(cfg_.write_queue_cap, n, geo_.num_sags, geo_.num_cds);
 
   bank_cand_.assign(n, BankCand{});
+  group_rcand_.assign(n * geo_.num_sags, GroupReadCand{});
+  group_wcand_.assign(n * geo_.num_sags, GroupWriteCand{});
   bank_dirty_.assign(n, 0);
   bank_pure_.reserve(n);
   for (const auto& b : banks_) bank_pure_.push_back(b->pure_timing() ? 1 : 0);
@@ -68,6 +87,12 @@ ControllerT<BankT>::ControllerT(const mem::MemGeometry& geometry,
   scratch_cands_.reserve(cfg_.read_queue_cap + cfg_.write_queue_cap);
 
   cross_check_ = detail::paranoid_env();
+
+  // Analytic phase engine (DESIGN.md §12): on by default, FGNVM_PHASE_ENGINE=0
+  // forces eager event-chain ticking (CI covers both settings).
+  if (const char* e = std::getenv("FGNVM_PHASE_ENGINE")) {
+    phase_enabled_ = !(e[0] == '0' && e[1] == '\0');
+  }
 }
 
 template <typename BankT>
@@ -83,6 +108,34 @@ BankT& ControllerT<BankT>::bank_of(const mem::DecodedAddr& a) {
 template <typename BankT>
 const BankT& ControllerT<BankT>::bank_of(const mem::DecodedAddr& a) const {
   return *typed_[a.rank * geo_.banks_per_rank + a.bank];
+}
+
+template <typename BankT>
+const mem::DecodedAddr& ControllerT<BankT>::read_probe_addr(
+    std::int32_t slot, mem::DecodedAddr& tmp) const {
+  if constexpr (kLeanProbes) {
+    tmp.row = ridx_.row_of(slot);
+    tmp.sag = ridx_.sag(slot);
+    tmp.cd = ridx_.cd(slot);
+    tmp.cd_count = ridx_.cd_count_of(slot);
+    return tmp;
+  } else {
+    return rpool_[static_cast<std::size_t>(slot)].req.addr;
+  }
+}
+
+template <typename BankT>
+const mem::DecodedAddr& ControllerT<BankT>::write_probe_addr(
+    std::int32_t slot, mem::DecodedAddr& tmp) const {
+  if constexpr (kLeanProbes) {
+    tmp.row = widx_.row_of(slot);
+    tmp.sag = widx_.sag(slot);
+    tmp.cd = widx_.cd(slot);
+    tmp.cd_count = widx_.cd_count_of(slot);
+    return tmp;
+  } else {
+    return writes_.at(slot).addr;
+  }
 }
 
 template <typename BankT>
@@ -133,7 +186,7 @@ void ControllerT<BankT>::enqueue(mem::MemRequest req, Cycle now) {
     const std::int32_t slot = alloc_read_slot();
     rpool_[static_cast<std::size_t>(slot)].req = req;
     const std::uint64_t b = bank_linear(req.addr);
-    ridx_.insert(slot, b, req.addr);
+    ridx_.insert(slot, b, req.addr, req.sched_seq);
     mark_bank_dirty(b);
     last_read_activity_ = now;
     sag_last_read_[sag_group(req.addr)] = now;
@@ -146,7 +199,7 @@ void ControllerT<BankT>::enqueue(mem::MemRequest req, Cycle now) {
       if (obs_) obs_->on_coalesced();
     } else {
       const std::uint64_t b = bank_linear(req.addr);
-      widx_.insert(slot, b, req.addr);
+      widx_.insert(slot, b, req.addr, req.sched_seq);
       mark_bank_dirty(b);
       bump(h_writes_accepted_, "writes.accepted");
       if (obs_) obs_->on_enqueue(req, now);
@@ -250,38 +303,47 @@ std::int32_t ControllerT<BankT>::select_read_column_indexed(
     Cycle now, std::vector<std::int32_t>& to_flag) const {
   to_flag.clear();
   if (ridx_.empty()) return -1;
-  // O(1) out: no bank has a read column candidate (plain or flagged) due
-  // yet, so there is nothing to issue and nothing new to flag.
-  refresh_global();
-  if (global_valid_ &&
-      std::min(global_cand_.read_col_plain, global_cand_.read_col_flagged) >
-          now) {
-    return -1;
-  }
   const Cycle data_start = now + timing_.tCAS;
+  const bool bus_free = bus_.available(data_start);
+  // O(1) out: no bank has a read column candidate due yet, so there is
+  // nothing to issue and nothing to (re-)flag. The flagged minimum stays in
+  // the fold because the reference scan re-flags already-flagged bank-ready
+  // candidates (a no-op on state, but part of the compared flag lists).
+  refresh_global();
+  if (global_valid_) {
+    const Cycle due = std::min(global_cand_.read_col_plain,
+                               global_cand_.read_col_flagged);
+    if (due > now) return -1;
+  }
   if (cfg_.policy == SchedulerPolicy::kFcfs) {
     // FCFS examines the queue head only.
     const std::int32_t s = ridx_.queue_head();
-    const mem::MemRequest& req = rpool_[static_cast<std::size_t>(s)].req;
-    const BankT& bank = bank_of(req.addr);
-    if (!bank.segments_sensed(req.addr)) return -1;
-    if (bank.earliest_column(req.addr, OpType::kRead, now) > now) return -1;
+    const BankT& bank = *typed_[ridx_.bank_of(s)];
+    if (!bank.segments_sensed_key(ridx_.sag(s), ridx_.row_of(s),
+                                  ridx_.cds(s))) {
+      return -1;
+    }
+    if (bank.earliest_column_key(ridx_.sag(s), ridx_.cds(s), OpType::kRead,
+                                 now) > now) {
+      return -1;
+    }
     if (!bus_.available(data_start)) {
       to_flag.push_back(s);
       return -1;
     }
     return s;
   }
-  const bool bus_ok = bus_.available(data_start);
+  const bool bus_ok = bus_free;
   if (bus_ok) {
     // Fast path: the global queue head is min-seq over every candidate, so
     // if it is bank-ready it wins outright (and with the bus free nothing
     // gets flagged). This is the common case for a row-hitting read stream.
     const std::int32_t s = ridx_.queue_head();
-    const mem::MemRequest& req = rpool_[static_cast<std::size_t>(s)].req;
-    const BankT& bank = bank_of(req.addr);
-    if (bank.segments_sensed(req.addr) &&
-        bank.earliest_column(req.addr, OpType::kRead, now) <= now) {
+    const BankT& bank = *typed_[ridx_.bank_of(s)];
+    if (bank.segments_sensed_key(ridx_.sag(s), ridx_.row_of(s),
+                                 ridx_.cds(s)) &&
+        bank.earliest_column_key(ridx_.sag(s), ridx_.cds(s), OpType::kRead,
+                                 now) <= now) {
       return s;
     }
   }
@@ -291,26 +353,58 @@ std::int32_t ControllerT<BankT>::select_read_column_indexed(
   for (std::uint64_t b = 0; b < nbanks; ++b) {
     // A clean pure-timing bank's cached candidates are exact: if neither
     // the plain nor the flagged column minimum has arrived yet, no member
-    // of this bank can issue (or be flagged) at `now`.
-    if (!bank_dirty_[b] && bank_pure_[b] &&
-        std::min(bank_cand_[b].read_col_plain,
-                 bank_cand_[b].read_col_flagged) > now) {
-      continue;
+    // of this bank can issue (or be (re-)flagged) at `now`.
+    const bool cand_exact = !bank_dirty_[b] && bank_pure_[b];
+    if (cand_exact) {
+      const Cycle due = std::min(bank_cand_[b].read_col_plain,
+                                 bank_cand_[b].read_col_flagged);
+      if (due > now) continue;
     }
     const BankT& bank = *typed_[b];
     for (const std::uint32_t g : ridx_.active_groups_of_bank(b)) {
-      const std::uint64_t row = bank.open_row_of(g % geo_.num_sags);
+      // Same pruning, one group finer, off the per-group slice the
+      // recompute walk caches alongside the bank minima.
+      if (cand_exact) {
+        const GroupReadCand& gc = group_rcand_[g];
+        if (std::min(gc.col_plain, gc.col_flagged) > now) continue;
+      }
+      // With the bus free nothing gets flagged, and every member of the
+      // group is younger than its head — a head already younger than the
+      // winner rules out the whole group before any bank probing.
+      if (bus_ok && ridx_.seq(ridx_.group_head(g)) >= winner_seq) continue;
+      const std::uint64_t sag = g % geo_.num_sags;
+      const std::uint64_t row = bank.open_row_of(sag);
       if (row == kInvalidAddr) continue;
+      // Hoist the member-independent half of the column probe; a member's
+      // earliest column is >= the base, so a late base rules out the whole
+      // group (both as winner and as flag candidates) in one check.
+      [[maybe_unused]] Cycle col_base = 0;
+      if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+        col_base = bank.column_base_key(sag, OpType::kRead, now);
+        if (col_base > now) continue;
+      }
       for (std::int32_t s = ridx_.row_head(b, row); s >= 0;
            s = ridx_.row_next(s)) {
-        const mem::MemRequest& req = rpool_[static_cast<std::size_t>(s)].req;
+        ridx_.prefetch(ridx_.row_next(s));
         // With the bus free nothing gets flagged, so younger-than-winner
-        // members can skip the timing probes outright.
-        if (bus_ok && req.sched_seq >= winner_seq) continue;
-        if (!bank.segments_sensed(req.addr)) continue;
-        if (bank.earliest_column(req.addr, OpType::kRead, now) > now) continue;
+        // members can skip the timing probes outright. Probes are keyed by
+        // the index's SoA image; a SAG is a contiguous row range, so every
+        // (bank, row) list member shares the group's SAG.
+        if (bus_ok && ridx_.seq(s) >= winner_seq) continue;
+        if (!bank.segments_sensed_key(sag, row, ridx_.cds(s))) continue;
+        if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+          if (bank.column_fold_key(ridx_.cds(s), OpType::kRead, col_base) >
+              now) {
+            continue;
+          }
+        } else {
+          if (bank.earliest_column_key(sag, ridx_.cds(s), OpType::kRead,
+                                       now) > now) {
+            continue;
+          }
+        }
         if (bus_ok) {
-          winner_seq = req.sched_seq;
+          winner_seq = ridx_.seq(s);
           winner = s;
         } else {
           to_flag.push_back(s);
@@ -337,6 +431,7 @@ void ControllerT<BankT>::apply_read_flags(
     mem::MemRequest& req = rpool_[static_cast<std::size_t>(s)].req;
     if (!req.bus_blocked) {
       req.bus_blocked = true;
+      ridx_.set_flag(s, true);
       mark_bank_dirty(bank_linear(req.addr));
     }
   }
@@ -349,6 +444,7 @@ void ControllerT<BankT>::apply_write_flags(
     mem::MemRequest& w = writes_.at_mut(s);
     if (!w.bus_blocked) {
       w.bus_blocked = true;
+      widx_.set_flag(s, true);
       mark_bank_dirty(bank_linear(w.addr));
     }
   }
@@ -368,7 +464,12 @@ bool ControllerT<BankT>::try_issue_read_column(Cycle now) {
   // so the event loop need not revisit busy cycles.
   apply_read_flags(scratch_flags_);
   if (slot < 0) return false;
+  commit_read_column(slot, now);
+  return true;
+}
 
+template <typename BankT>
+void ControllerT<BankT>::commit_read_column(std::int32_t slot, Cycle now) {
   const mem::MemRequest req = rpool_[static_cast<std::size_t>(slot)].req;
   BankT& bank = bank_of(req.addr);
   const Cycle data_start = now + timing_.tCAS;
@@ -381,12 +482,11 @@ bool ControllerT<BankT>::try_issue_read_column(Cycle now) {
   inflight_reads_.push_back(InFlight{req, data_start + timing_.tBURST});
   sag_last_read_[sag_group(req.addr)] = now;
   const std::uint64_t b = bank_linear(req.addr);
-  ridx_.remove(slot, b, req.addr);
+  ridx_.remove(slot, b);
   free_read_slot(slot);
   mark_bank_dirty(b);
   bump(h_cmd_read_, "cmd.read");
   maybe_close_row(req.addr, now);
-  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -453,25 +553,19 @@ auto ControllerT<BankT>::select_read_activate_indexed(Cycle now) const
   if (global_valid_ && global_cand_.read_act > now) return {-1, 0};
   ActPick pick{-1, 0};
   std::uint64_t winner_seq = ~0ULL;
+  const bool aug = cfg_.policy == SchedulerPolicy::kFrfcfsAugmented;
   {
     const std::int32_t s = ridx_.queue_head();
-    const mem::DecodedAddr& a = rpool_[static_cast<std::size_t>(s)].req.addr;
-    const BankT& bank = bank_of(a);
-    if (!bank.segments_sensed(a)) {
-      std::uint64_t extra_cds = 0;
-      if (cfg_.policy == SchedulerPolicy::kFrfcfsAugmented) {
-        const std::uint64_t b = bank_linear(a);
-        for (std::int32_t o = ridx_.row_head(b, a.row); o >= 0;
-             o = ridx_.row_next(o)) {
-          const mem::DecodedAddr& oa =
-              rpool_[static_cast<std::size_t>(o)].req.addr;
-          for (std::uint64_t i = 0; i < oa.cd_count; ++i) {
-            extra_cds |= 1ULL << (oa.cd + i);
-          }
-        }
-      }
-      if (bank.earliest_activate(a, nvm::ActPurpose::kRead, now, extra_cds) <=
-          now) {
+    const std::uint64_t b = ridx_.bank_of(s);
+    const std::uint64_t sag = ridx_.sag(s);
+    const std::uint64_t row = ridx_.row_of(s);
+    const BankT& bank = *typed_[b];
+    if (!bank.segments_sensed_key(sag, row, ridx_.cds(s))) {
+      // Demand-aggregated partial activation: the maintained (bank, row)
+      // CD mask is exactly the OR the former list walk computed.
+      const std::uint64_t extra_cds = aug ? ridx_.row_cds(b, row) : 0;
+      if (bank.earliest_activate_key(sag, row, ridx_.cds(s), extra_cds,
+                                     nvm::ActPurpose::kRead, now) <= now) {
         return {s, extra_cds};
       }
     }
@@ -479,30 +573,22 @@ auto ControllerT<BankT>::select_read_activate_indexed(Cycle now) const
   const std::uint64_t nbanks = banks_.size();
   for (std::uint64_t b = 0; b < nbanks; ++b) {
     // Clean pure-timing banks with no ACT candidate due yet cannot win.
-    if (!bank_dirty_[b] && bank_pure_[b] && bank_cand_[b].read_act > now) {
-      continue;
-    }
+    const bool cand_exact = !bank_dirty_[b] && bank_pure_[b];
+    if (cand_exact && bank_cand_[b].read_act > now) continue;
     const BankT& bank = *typed_[b];
     for (const std::uint32_t g : ridx_.active_groups_of_bank(b)) {
       const std::int32_t s = ridx_.group_head(g);
-      const mem::MemRequest& req = rpool_[static_cast<std::size_t>(s)].req;
-      if (req.sched_seq >= winner_seq) continue;
-      const mem::DecodedAddr& a = req.addr;
-      if (bank.segments_sensed(a)) continue;
-      std::uint64_t extra_cds = 0;
-      if (cfg_.policy == SchedulerPolicy::kFrfcfsAugmented) {
-        for (std::int32_t o = ridx_.row_head(b, a.row); o >= 0;
-             o = ridx_.row_next(o)) {
-          const mem::DecodedAddr& oa =
-              rpool_[static_cast<std::size_t>(o)].req.addr;
-          for (std::uint64_t i = 0; i < oa.cd_count; ++i) {
-            extra_cds |= 1ULL << (oa.cd + i);
-          }
-        }
-      }
-      if (bank.earliest_activate(a, nvm::ActPurpose::kRead, now, extra_cds) <=
-          now) {
-        winner_seq = req.sched_seq;
+      if (ridx_.seq(s) >= winner_seq) continue;
+      // The cached per-group ACT candidate replaces the sensed/activate
+      // probes for groups whose head is not due yet.
+      if (cand_exact && group_rcand_[g].act > now) continue;
+      const std::uint64_t sag = ridx_.sag(s);
+      const std::uint64_t row = ridx_.row_of(s);
+      if (bank.segments_sensed_key(sag, row, ridx_.cds(s))) continue;
+      const std::uint64_t extra_cds = aug ? ridx_.row_cds(b, row) : 0;
+      if (bank.earliest_activate_key(sag, row, ridx_.cds(s), extra_cds,
+                                     nvm::ActPurpose::kRead, now) <= now) {
+        winner_seq = ridx_.seq(s);
         pick = {s, extra_cds};
       }
     }
@@ -598,8 +684,11 @@ auto ControllerT<BankT>::select_write_indexed(
     -> WritePick {
   to_flag.clear();
   if (widx_.empty()) return {-1, false};
+  const Cycle data_start = now + timing_.tCWD;
+  const bool bus_ok = bus_.available(data_start);
   // O(1) out: no write (ACT or column, plain or flagged) is due yet on any
-  // bank under this drain mode's filters — nothing to pick, nothing to flag.
+  // bank under this drain mode's filters — nothing to pick, nothing to
+  // (re-)flag.
   refresh_global();
   if (global_valid_) {
     const BankCand& g = global_cand_;
@@ -614,30 +703,30 @@ auto ControllerT<BankT>::select_write_indexed(
   // background-write SAG-conflict and read-recency-guard tests depend only
   // on the (bank, SAG) group, so they filter whole groups before any
   // per-write work; only the CD-overlap test is per-write.
-  const Cycle data_start = now + timing_.tCWD;
-  const bool bus_ok = bus_.available(data_start);
   {
     // Fast path: the write-queue head is min-seq over every candidate and
     // always its group's head, so if it passes it wins outright — and no
     // flag can precede the arrival-order winner, so to_flag stays empty.
     const std::int32_t h = widx_.queue_head();
-    const mem::MemRequest& w = writes_.at(h);
-    const std::uint64_t b = bank_linear(w.addr);
-    const std::uint64_t g = b * geo_.num_sags + w.addr.sag;
+    const std::uint64_t b = widx_.bank_of(h);
+    const std::uint64_t sag = widx_.sag(h);
+    const std::uint64_t row = widx_.row_of(h);
+    const std::uint64_t g = b * geo_.num_sags + sag;
     const bool bg_ok =
         !background_only ||
         (ridx_.group_count(g) == 0 &&
          now >= sag_last_read_[g] + cfg_.bg_write_guard &&
-         !ridx_.cd_overlap(b, w.addr.cd, w.addr.cd_count));
+         !ridx_.cd_overlap_mask(b, widx_.cds(h)));
     if (bg_ok) {
       const BankT& bank = *typed_[b];
-      if (!bank.row_open(w.addr)) {
-        if (bank.earliest_activate(w.addr, nvm::ActPurpose::kWrite, now) <=
-            now) {
+      if (bank.open_row_of(sag) != row) {
+        if (bank.earliest_activate_key(sag, row, 0, 0,
+                                       nvm::ActPurpose::kWrite, now) <= now) {
           return {h, /*activate=*/true};
         }
-      } else if (bus_ok &&
-                 bank.earliest_column(w.addr, OpType::kWrite, now) <= now) {
+      } else if (bus_ok && bank.earliest_column_key(sag, widx_.cds(h),
+                                                    OpType::kWrite, now) <=
+                               now) {
         return {h, /*activate=*/false};
       }
     }
@@ -649,7 +738,8 @@ auto ControllerT<BankT>::select_write_indexed(
     // Clean pure-timing banks whose cached write minima (guard folded for
     // the background path) have not arrived yet cannot contribute a winner
     // or a flag.
-    if (!bank_dirty_[b] && bank_pure_[b]) {
+    const bool cand_exact = !bank_dirty_[b] && bank_pure_[b];
+    if (cand_exact) {
       const BankCand& c = bank_cand_[b];
       const Cycle m = background_only
                           ? std::min(c.write_bg_plain, c.write_bg_flagged)
@@ -658,6 +748,16 @@ auto ControllerT<BankT>::select_write_indexed(
     }
     const BankT& bank = *typed_[b];
     for (const std::uint32_t g : widx_.active_groups_of_bank(b)) {
+      // Same pruning, one group finer: the recompute walk caches each
+      // group's slice of the bank minima, so a not-yet-due group costs one
+      // load instead of the row-hash probe and timing probes below.
+      if (cand_exact) {
+        const GroupWriteCand& gc = group_wcand_[g];
+        const Cycle m = background_only
+                            ? std::min(gc.bg_plain, gc.bg_flagged)
+                            : std::min(gc.plain, gc.flagged);
+        if (m > now) continue;
+      }
       if (background_only) {
         // ridx_ and widx_ share the group-id space (bank * num_sags + sag),
         // and sag_group(w.addr) == g for every member of g.
@@ -665,39 +765,61 @@ auto ControllerT<BankT>::select_write_indexed(
         if (now < sag_last_read_[g] + cfg_.bg_write_guard) continue;
       }
       const std::int32_t head = widx_.group_head(g);
-      const mem::MemRequest& hw = writes_.at(head);
+      // With the bus free nothing gets flagged, and the head is the group's
+      // min seq — both the ACT candidate (the head itself) and every column
+      // member need seq < winner_seq, so a late head rules out the group.
+      if (bus_ok && widx_.seq(head) >= winner_seq) continue;
       // row_open(a) is open_row_of(a.sag) == a.row for every bank kind, and
-      // all group members share the SAG — one virtual call covers the group.
-      const std::uint64_t row = bank.open_row_of(g % geo_.num_sags);
-      if (hw.addr.row != row) {
+      // all group members share the SAG — one probe covers the group.
+      const std::uint64_t sag = g % geo_.num_sags;
+      const std::uint64_t row = bank.open_row_of(sag);
+      if (widx_.row_of(head) != row) {
         // Only the group head may activate; a head on the open row never
         // activates. (Younger group members on the open row are still
         // column candidates below.)
-        if (hw.sched_seq < winner_seq &&
+        if (widx_.seq(head) < winner_seq &&
             !(background_only &&
-              ridx_.cd_overlap(b, hw.addr.cd, hw.addr.cd_count)) &&
-            bank.earliest_activate(hw.addr, nvm::ActPurpose::kWrite, now) <=
-                now) {
-          winner_seq = hw.sched_seq;
+              ridx_.cd_overlap_mask(b, widx_.cds(head))) &&
+            bank.earliest_activate_key(sag, widx_.row_of(head), 0, 0,
+                                       nvm::ActPurpose::kWrite, now) <= now) {
+          winner_seq = widx_.seq(head);
           pick = {head, /*activate=*/true};
         }
       }
       if (row == kInvalidAddr) continue;
+      // Hoist the member-independent half of the column probe; a member's
+      // earliest column is >= the base, so a late base rules out every
+      // column candidate (winner or flag) in this group at once.
+      [[maybe_unused]] Cycle col_base = 0;
+      if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+        col_base = bank.column_base_key(sag, OpType::kWrite, now);
+        if (col_base > now) continue;
+      }
       for (std::int32_t s = widx_.row_head(b, row); s >= 0;
            s = widx_.row_next(s)) {
-        const mem::MemRequest& w = writes_.at(s);
+        widx_.prefetch(widx_.row_next(s));
         // With the bus free nothing gets flagged, so younger-than-winner
-        // members can skip the timing probes outright.
-        if (bus_ok && w.sched_seq >= winner_seq) continue;
-        if (background_only &&
-            ridx_.cd_overlap(b, w.addr.cd, w.addr.cd_count)) {
+        // members can skip the timing probes outright. A SAG is a contiguous
+        // row range, so every (bank, row) list member shares the group's SAG.
+        if (bus_ok && widx_.seq(s) >= winner_seq) continue;
+        if (background_only && ridx_.cd_overlap_mask(b, widx_.cds(s))) {
           continue;
         }
-        if (bank.earliest_column(w.addr, OpType::kWrite, now) > now) continue;
+        if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+          if (bank.column_fold_key(widx_.cds(s), OpType::kWrite, col_base) >
+              now) {
+            continue;
+          }
+        } else {
+          if (bank.earliest_column_key(sag, widx_.cds(s), OpType::kWrite,
+                                       now) > now) {
+            continue;
+          }
+        }
         if (!bus_ok) {
           to_flag.push_back(s);
         } else {
-          winner_seq = w.sched_seq;
+          winner_seq = widx_.seq(s);
           pick = {s, /*activate=*/false};
         }
       }
@@ -708,7 +830,7 @@ auto ControllerT<BankT>::select_write_indexed(
   // equal seq is impossible: a flagged write never wins.
   if (pick.slot >= 0 && !to_flag.empty()) {
     std::erase_if(to_flag, [&](std::int32_t s) {
-      return writes_.at(s).sched_seq > winner_seq;
+      return widx_.seq(s) > winner_seq;
     });
   }
   return pick;
@@ -738,7 +860,14 @@ bool ControllerT<BankT>::try_issue_write(Cycle now, bool background_only) {
     return true;
   }
 
-  const mem::MemRequest w = writes_.at(pick.slot);
+  commit_write_column(pick.slot, now, background_only);
+  return true;
+}
+
+template <typename BankT>
+void ControllerT<BankT>::commit_write_column(std::int32_t slot, Cycle now,
+                                             bool background_only) {
+  const mem::MemRequest w = writes_.at(slot);
   BankT& bank = bank_of(w.addr);
   const Cycle data_start = now + timing_.tCWD;
   if (w.bus_blocked) bump(h_bus_col_conflicts_, "bus.column_conflicts");
@@ -747,15 +876,14 @@ bool ControllerT<BankT>::try_issue_write(Cycle now, bool background_only) {
   bus_.reserve(data_start, timing_.tBURST);
   if (obs_) obs_->on_write_issue(w.id, now, done);
   const std::uint64_t b = bank_linear(w.addr);
-  widx_.remove(pick.slot, b, w.addr);
-  writes_.remove_slot(pick.slot);
+  widx_.remove(slot, b);
+  writes_.remove_slot(slot);
   mark_bank_dirty(b);
   bump(background_only ? h_cmd_write_bg_ : h_cmd_write_drain_,
        background_only ? "cmd.write_background" : "cmd.write_drain");
   bump(h_cmd_write_, "cmd.write");
   // Closed-page: the write's row closes once the program completes.
   if (cfg_.page_policy == PagePolicy::kClosed) maybe_close_row(w.addr, done);
-  return true;
 }
 
 template <typename BankT>
@@ -805,12 +933,9 @@ bool ControllerT<BankT>::try_issue(Cycle now, bool& write_done) {
 }
 
 template <typename BankT>
-void ControllerT<BankT>::tick(Cycle now) {
-  // Charge the span since the previous tick to each traced request's pending
-  // cause before any state changes this cycle.
-  if (obs_) obs_->close_spans(now);
-
-  // Retire finished read bursts.
+void ControllerT<BankT>::retire_reads(Cycle now) {
+  // Retire finished read bursts (in-flight vector order — issue order — so
+  // the Welford latency accumulation stays bit-identical across drivers).
   for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
     if (it->done <= now) {
       it->req.completion = it->done;
@@ -830,6 +955,15 @@ void ControllerT<BankT>::tick(Cycle now) {
       ++it;
     }
   }
+}
+
+template <typename BankT>
+void ControllerT<BankT>::tick(Cycle now) {
+  // Charge the span since the previous tick to each traced request's pending
+  // cause before any state changes this cycle.
+  if (obs_) obs_->close_spans(now);
+
+  retire_reads(now);
 
   writes_.update_drain();
   bool write_done = false;
@@ -851,11 +985,269 @@ Cycle ControllerT<BankT>::advance_to(Cycle due, Cycle horizon) {
   // delivered by the caller at the horizon (in channel order). Ticks the
   // serial schedule would run at completion-delivery cycles inside the
   // window are no-op ticks by the next_event contract and are skipped.
+  //
+  // Steady phases are replayed analytically (DESIGN.md §12): advance_phase
+  // runs the same commit/retire code the eager tick would, then hands back
+  // the next due cycle, so the fallback below sees a state bit-identical to
+  // having ticked through the window.
   while (due < horizon) {
+    const Cycle fast = advance_phase_impl(due, horizon, nullptr);
+    if (fast > due) {
+      due = fast;
+      continue;
+    }
     tick(due);
     due = next_event_internal(due);
   }
   return due;
+}
+
+template <typename BankT>
+Cycle ControllerT<BankT>::advance_until_accept(Cycle due, OpType op,
+                                               Cycle horizon) {
+  // Same chain walk as advance_to, but the stopping condition is "capacity
+  // for `op` freed up": the driver submits at (freeing tick) + 1, exactly
+  // where the serial schedule would re-test can_accept before ticking.
+  while (due < horizon && !can_accept(op)) {
+    const Cycle fast = advance_phase_impl(due, horizon, &op);
+    if (fast > due) {
+      due = fast;
+      continue;
+    }
+    tick(due);
+    if (can_accept(op)) return due + 1;
+    due = next_event_internal(due);
+  }
+  return due;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic phase engine (DESIGN.md §12). Each recognizer replays its phase's
+// event chain with the shared commit/retire sequences — the exact mutations
+// eager ticking performs — so state and stats stay bit-identical; the only
+// thing skipped is the per-event tick/selection/next_event machinery that
+// provably does nothing else in the phase. Contract: return `now` to
+// decline, else a cycle > now that never overshoots the next actionable
+// cycle (undershooting is safe: an early wake is a no-op tick).
+// ---------------------------------------------------------------------------
+
+template <typename BankT>
+Cycle ControllerT<BankT>::advance_phase_impl(Cycle now, Cycle bound,
+                                             const OpType* stop_accept) {
+  if (!phase_enabled_ || obs_ != nullptr || now >= bound) return now;
+  // A pending drain-latch flip must be applied by a real tick at now/t0.
+  if (writes_.drain_update_pending()) return now;
+  if (ridx_.empty() && widx_.empty()) {
+    if (inflight_reads_.empty()) return now;  // fully idle — nothing to do
+    return phase_retire_only(now, bound);
+  }
+  // The remaining phases reason about bank timing in closed form, which is
+  // only sound when candidates clamp (pure_timing) — no refresh windows.
+  if (!all_pure_) return now;
+  if (ridx_.empty() && inflight_reads_.empty() && writes_.draining()) {
+    return phase_write_drain(now, bound, stop_accept);
+  }
+  if (!ridx_.empty() && !writes_.draining()) {
+    return phase_read_burst(now, bound, stop_accept);
+  }
+  return now;
+}
+
+// All-banks-idle-until-arrival: both queues empty, bursts in flight. The
+// only events left are retirements; replay them and report the next one.
+template <typename BankT>
+Cycle ControllerT<BankT>::phase_retire_only(Cycle now, Cycle bound) {
+  const std::size_t before = inflight_reads_.size();
+  Cycle t = now;
+  Cycle ret;
+  for (;;) {
+    Cycle min_done = kNeverCycle;
+    for (const InFlight& fl : inflight_reads_) {
+      min_done = std::min(min_done, fl.done);
+    }
+    if (min_done == kNeverCycle) {
+      ret = kNeverCycle;  // chain dies: nothing queued, nothing in flight
+      break;
+    }
+    const Cycle wake = std::max(min_done, t);
+    if (wake >= bound) {
+      ret = wake;
+      break;
+    }
+    retire_reads(wake);
+    t = wake + 1;
+  }
+  const std::size_t retired = before - inflight_reads_.size();
+  if (retired > 0) {
+    ++phase_stats_.retire_phases;
+    phase_stats_.retire_events += retired;
+  }
+  return ret > now ? ret : now;
+}
+
+// Pure write-queue drain: watermark latch held, no reads queued or in
+// flight, every queued write in one dense (bank, SAG) group on the open row
+// and none bus-flagged. The only events are write column issues; per wake
+// the arrival-order winner is the min-seq member among those whose column
+// timing has come due (pure timing ⇒ candidates computed at the current
+// position clamp identically at the wake cycle).
+template <typename BankT>
+Cycle ControllerT<BankT>::phase_write_drain(Cycle now, Cycle bound,
+                                            const OpType* stop_accept) {
+  if (widx_.empty() || widx_.flagged_count() != 0) return now;
+  const std::int32_t head0 = widx_.queue_head();
+  const mem::DecodedAddr& ha = writes_.at(head0).addr;
+  const std::uint64_t b = bank_linear(ha);
+  const std::uint64_t g = b * geo_.num_sags + ha.sag;
+  if (widx_.group_count(g) != widx_.size()) return now;
+  BankT& bank = *typed_[b];
+  const std::uint64_t row = bank.open_row_of(ha.sag);
+  if (row == kInvalidAddr || widx_.row_count(b, row) != widx_.size()) {
+    return now;  // an off-row member would be an ACT candidate
+  }
+
+  std::uint64_t steps = 0;
+  Cycle t = now;
+  Cycle ret;
+  mem::DecodedAddr tmp{};
+  for (;;) {
+    // Wake = min column candidate; winner = min-seq among those achieving
+    // it (with pure timing, e(t) = max(t, e(0)), so the members ready at
+    // the wake are exactly those whose e equals the minimum).
+    Cycle best_e = kNeverCycle;
+    std::int32_t winner = -1;
+    std::uint64_t wseq = ~0ULL;
+    for (std::int32_t s = widx_.row_head(b, row); s >= 0;
+         s = widx_.row_next(s)) {
+      const Cycle e =
+          bank.earliest_column(write_probe_addr(s, tmp), OpType::kWrite, t);
+      if (e < best_e || (e == best_e && widx_.seq(s) < wseq)) {
+        best_e = e;
+        winner = s;
+        wseq = widx_.seq(s);
+      }
+    }
+    const Cycle wake = best_e;
+    if (wake >= bound) {
+      ret = wake;  // the next chain cycle — beyond this window
+      break;
+    }
+    if (!bus_.available(wake + timing_.tCWD)) {
+      ret = wake;  // eager tick at wake sets the sticky flags
+      break;
+    }
+    commit_write_column(winner, wake, /*background_only=*/false);
+    ++steps;
+    // Ends that require a real tick or the driver: the latch flip below the
+    // low watermark, freed capacity the blocked driver waits on, or an empty
+    // queue. wake+1 never overshoots: it is at most the next chain cycle.
+    if (writes_.drain_update_pending() || widx_.empty() ||
+        (stop_accept != nullptr && can_accept(*stop_accept))) {
+      ret = wake + 1;
+      break;
+    }
+    t = wake + 1;  // the write_done latch allows one write per tick
+  }
+  if (steps > 0) {
+    ++phase_stats_.drain_phases;
+    phase_stats_.drain_writes += steps;
+  }
+  return ret > now ? ret : now;
+}
+
+// Single-group row-hit read burst: every queued read sensed in one dense
+// (bank, SAG) group on the open row, none bus-flagged, and the write side
+// contributes no candidates (not draining; background path below its
+// occupancy floor or disabled). Events are read column issues and
+// retirements; each wake replays them in tick order (retire, then issue).
+template <typename BankT>
+Cycle ControllerT<BankT>::phase_read_burst(Cycle now, Cycle bound,
+                                           const OpType* stop_accept) {
+  if (ridx_.flagged_count() != 0) return now;
+  if (!widx_.empty() && cfg_.policy == SchedulerPolicy::kFrfcfsAugmented &&
+      writes_.size() >= cfg_.bg_write_min) {
+    return now;  // backgrounded writes are (or may become) eligible
+  }
+  const std::int32_t head0 = ridx_.queue_head();
+  const mem::DecodedAddr& ha = rpool_[static_cast<std::size_t>(head0)].req.addr;
+  const std::uint64_t b = bank_linear(ha);
+  const std::uint64_t g = b * geo_.num_sags + ha.sag;
+  if (ridx_.group_count(g) != ridx_.size()) return now;
+  BankT& bank = *typed_[b];
+  const std::uint64_t row = bank.open_row_of(ha.sag);
+  if (row == kInvalidAddr || ridx_.row_count(b, row) != ridx_.size()) {
+    return now;
+  }
+  mem::DecodedAddr tmp{};
+  // Partial activation can leave an open-row member unsensed (an underfetch
+  // re-sense — an ACT candidate); require the whole group sensed so column
+  // issues are the only command events in the phase.
+  for (std::int32_t s = ridx_.row_head(b, row); s >= 0; s = ridx_.row_next(s)) {
+    if (!bank.segments_sensed(read_probe_addr(s, tmp))) return now;
+  }
+
+  const bool fcfs = cfg_.policy == SchedulerPolicy::kFcfs;
+  std::uint64_t steps = 0;
+  Cycle t = now;
+  Cycle ret;
+  for (;;) {
+    Cycle min_done = kNeverCycle;
+    for (const InFlight& fl : inflight_reads_) {
+      min_done = std::min(min_done, fl.done);
+    }
+    // Column candidate: FCFS serves strictly in order (the queue head is
+    // the only candidate); otherwise the min-seq member among those due.
+    Cycle best_e = kNeverCycle;
+    std::int32_t winner = -1;
+    std::uint64_t wseq = ~0ULL;
+    if (fcfs) {
+      winner = ridx_.queue_head();
+      best_e = bank.earliest_column(read_probe_addr(winner, tmp),
+                                    OpType::kRead, t);
+    } else {
+      for (std::int32_t s = ridx_.row_head(b, row); s >= 0;
+           s = ridx_.row_next(s)) {
+        const Cycle e =
+            bank.earliest_column(read_probe_addr(s, tmp), OpType::kRead, t);
+        if (e < best_e || (e == best_e && ridx_.seq(s) < wseq)) {
+          best_e = e;
+          winner = s;
+          wseq = ridx_.seq(s);
+        }
+      }
+    }
+    const Cycle wake = std::min(best_e, std::max(min_done, t));
+    if (wake >= bound) {
+      ret = wake;
+      break;
+    }
+    if (min_done <= wake) retire_reads(wake);  // tick order: retire first
+    if (best_e <= wake) {
+      if (!bus_.available(wake + timing_.tCAS)) {
+        ret = wake;  // eager tick at wake sets the sticky flags
+        break;
+      }
+      commit_read_column(winner, wake);
+      ++steps;
+      if (ridx_.empty() ||
+          (stop_accept != nullptr && can_accept(*stop_accept))) {
+        ret = wake + 1;
+        break;
+      }
+    }
+    t = wake + 1;
+  }
+  if (steps > 0) {
+    ++phase_stats_.burst_phases;
+    phase_stats_.burst_reads += steps;
+  }
+  return ret > now ? ret : now;
+}
+
+template <typename BankT>
+Cycle ControllerT<BankT>::advance_phase(Cycle now, Cycle bound) {
+  const Cycle fast = advance_phase_impl(now, bound, nullptr);
+  return fast > now ? fast : now;
 }
 
 template <typename BankT>
@@ -1039,72 +1431,96 @@ void ControllerT<BankT>::recompute_bank_cand(std::uint64_t b, Cycle tq) const {
   const bool aug = cfg_.policy == SchedulerPolicy::kFrfcfsAugmented;
 
   for (const std::uint32_t g : ridx_.active_groups_of_bank(b)) {
+    GroupReadCand gc;
     const std::int32_t head = ridx_.group_head(g);
-    const mem::DecodedAddr& ha =
-        rpool_[static_cast<std::size_t>(head)].req.addr;
-    if (!bank.segments_sensed(ha)) {
-      std::uint64_t extra_cds = 0;
-      if (aug) {
-        for (std::int32_t o = ridx_.row_head(b, ha.row); o >= 0;
-             o = ridx_.row_next(o)) {
-          const mem::DecodedAddr& oa =
-              rpool_[static_cast<std::size_t>(o)].req.addr;
-          for (std::uint64_t i = 0; i < oa.cd_count; ++i) {
-            extra_cds |= 1ULL << (oa.cd + i);
-          }
-        }
-      }
-      c.read_act = std::min(
-          c.read_act,
-          bank.earliest_activate(ha, nvm::ActPurpose::kRead, tq, extra_cds));
+    const std::uint64_t hsag = ridx_.sag(head);
+    const std::uint64_t hrow = ridx_.row_of(head);
+    if (!bank.segments_sensed_key(hsag, hrow, ridx_.cds(head))) {
+      // The maintained (bank, row) CD mask replaces the per-head row-list
+      // walk the demand aggregation used to do.
+      const std::uint64_t extra_cds = aug ? ridx_.row_cds(b, hrow) : 0;
+      gc.act = bank.earliest_activate_key(hsag, hrow, ridx_.cds(head),
+                                          extra_cds, nvm::ActPurpose::kRead,
+                                          tq);
+      c.read_act = std::min(c.read_act, gc.act);
     }
-    const std::uint64_t row = bank.open_row_of(g % geo_.num_sags);
+    const std::uint64_t sag = g % geo_.num_sags;
+    const std::uint64_t row = bank.open_row_of(sag);
     if (row != kInvalidAddr) {
+      // Candidates are minima at tq, so no early-out — but the
+      // member-independent base still hoists out of the walk.
+      [[maybe_unused]] Cycle col_base = 0;
+      if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+        col_base = bank.column_base_key(sag, OpType::kRead, tq);
+      }
       for (std::int32_t s = ridx_.row_head(b, row); s >= 0;
            s = ridx_.row_next(s)) {
-        const mem::MemRequest& r = rpool_[static_cast<std::size_t>(s)].req;
-        if (!bank.segments_sensed(r.addr)) continue;
-        const Cycle e = bank.earliest_column(r.addr, OpType::kRead, tq);
-        Cycle& tgt = r.bus_blocked ? c.read_col_flagged : c.read_col_plain;
+        ridx_.prefetch(ridx_.row_next(s));
+        if (!bank.segments_sensed_key(sag, row, ridx_.cds(s))) continue;
+        Cycle e;
+        if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+          e = bank.column_fold_key(ridx_.cds(s), OpType::kRead, col_base);
+        } else {
+          e = bank.earliest_column_key(sag, ridx_.cds(s), OpType::kRead, tq);
+        }
+        Cycle& tgt = ridx_.flagged(s) ? gc.col_flagged : gc.col_plain;
         tgt = std::min(tgt, e);
       }
+      c.read_col_plain = std::min(c.read_col_plain, gc.col_plain);
+      c.read_col_flagged = std::min(c.read_col_flagged, gc.col_flagged);
     }
+    group_rcand_[g] = gc;
   }
 
   for (const std::uint32_t g : widx_.active_groups_of_bank(b)) {
+    GroupWriteCand gc;
     const std::int32_t head = widx_.group_head(g);
-    const mem::MemRequest& hw = writes_.at(head);
     // The background SAG-conflict half of write_conflicts_with_reads is
     // uniform across the group (shared group-id space with ridx_); only
     // the CD-overlap half is per-write.
     const bool bg_group = aug && ridx_.group_count(g) == 0;
     const Cycle guard = sag_last_read_[g] + cfg_.bg_write_guard;
     // row_open(a) is open_row_of(a.sag) == a.row for every bank kind —
-    // one virtual call covers the whole group.
-    const std::uint64_t row = bank.open_row_of(g % geo_.num_sags);
-    if (hw.addr.row != row) {
-      const Cycle e =
-          bank.earliest_activate(hw.addr, nvm::ActPurpose::kWrite, tq);
+    // one probe covers the whole group.
+    const std::uint64_t sag = g % geo_.num_sags;
+    const std::uint64_t row = bank.open_row_of(sag);
+    if (widx_.row_of(head) != row) {
+      const Cycle e = bank.earliest_activate_key(
+          sag, widx_.row_of(head), 0, 0, nvm::ActPurpose::kWrite, tq);
       // ACT candidates never fold in the bus, so they live in the plain min.
-      c.write_plain = std::min(c.write_plain, e);
-      if (bg_group && !ridx_.cd_overlap(b, hw.addr.cd, hw.addr.cd_count)) {
-        c.write_bg_plain = std::min(c.write_bg_plain, std::max(e, guard));
+      gc.plain = e;
+      if (bg_group && !ridx_.cd_overlap_mask(b, widx_.cds(head))) {
+        gc.bg_plain = std::max(e, guard);
       }
     }
     if (row != kInvalidAddr) {
+      [[maybe_unused]] Cycle col_base = 0;
+      if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+        col_base = bank.column_base_key(sag, OpType::kWrite, tq);
+      }
       for (std::int32_t s = widx_.row_head(b, row); s >= 0;
            s = widx_.row_next(s)) {
-        const mem::MemRequest& w = writes_.at(s);
-        const Cycle e = bank.earliest_column(w.addr, OpType::kWrite, tq);
-        (w.bus_blocked ? c.write_flagged : c.write_plain) =
-            std::min(w.bus_blocked ? c.write_flagged : c.write_plain, e);
-        if (bg_group && !ridx_.cd_overlap(b, w.addr.cd, w.addr.cd_count)) {
-          Cycle& tgt =
-              w.bus_blocked ? c.write_bg_flagged : c.write_bg_plain;
+        widx_.prefetch(widx_.row_next(s));
+        const bool flg = widx_.flagged(s);
+        Cycle e;
+        if constexpr (detail::kDecomposedColumnProbe<BankT>) {
+          e = bank.column_fold_key(widx_.cds(s), OpType::kWrite, col_base);
+        } else {
+          e = bank.earliest_column_key(sag, widx_.cds(s), OpType::kWrite, tq);
+        }
+        (flg ? gc.flagged : gc.plain) =
+            std::min(flg ? gc.flagged : gc.plain, e);
+        if (bg_group && !ridx_.cd_overlap_mask(b, widx_.cds(s))) {
+          Cycle& tgt = flg ? gc.bg_flagged : gc.bg_plain;
           tgt = std::min(tgt, std::max(e, guard));
         }
       }
     }
+    c.write_plain = std::min(c.write_plain, gc.plain);
+    c.write_flagged = std::min(c.write_flagged, gc.flagged);
+    c.write_bg_plain = std::min(c.write_bg_plain, gc.bg_plain);
+    c.write_bg_flagged = std::min(c.write_bg_flagged, gc.bg_flagged);
+    group_wcand_[g] = gc;
   }
 
   bank_cand_[b] = c;

@@ -16,11 +16,24 @@
 // swap-removable vectors of the currently non-empty groups (global and
 // per-bank) so issue selection touches only eligible groups.
 //
+// Storage is struct-of-arrays (DESIGN.md §12): the six link cursors, the
+// arrival sequence numbers, the packed address keys (row / sag / cd /
+// cd_count), the line-CD bitmasks, and the sticky bus_blocked flags each
+// live in their own cache-line-aligned array, sized once at init(). The
+// selection and candidate-recompute walks in the controller read only these
+// compact arrays — the fat MemRequest records in the slot pools are touched
+// only to commit an issue — so a probe scan streams a few bytes per
+// candidate instead of pulling a 100+-byte struct per hop. Insert captures
+// the key/seq/flag image; set_flag() keeps the flag mirror in sync when the
+// controller marks a request bus-blocked.
+//
 // Invariants (see DESIGN.md §8):
 //  * every list preserves arrival order: head == oldest == min sched_seq;
 //  * a group is listed in active_groups()/active_groups_of_bank() iff its
 //    count > 0; a (bank, row) key is present iff its list is non-empty;
-//  * cd_mask(bank) has bit c set iff some member of `bank` covers CD c.
+//  * cd_mask(bank) has bit c set iff some member of `bank` covers CD c;
+//  * seq/row/sag/cd/cds/flagged mirror the pooled request while it is
+//    queued (flagged via set_flag).
 //
 // All operations are O(1) except the (bank, row) hash probe, which hits a
 // flat linear-probing table sized at init() to keep the load factor ≤ 1/4
@@ -30,12 +43,36 @@
 
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "common/types.hpp"
 #include "mem/geometry.hpp"
 
 namespace fgnvm::sched {
+
+/// Minimal cache-line-aligning allocator for the SoA arrays: the hot scans
+/// stride one array at a time, so each array starting on its own line keeps
+/// them from sharing (and false-sharing) tails.
+template <typename T>
+struct CacheAlignedAlloc {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+  CacheAlignedAlloc() = default;
+  template <typename U>
+  CacheAlignedAlloc(const CacheAlignedAlloc<U>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) { ::operator delete(p, kAlign); }
+  template <typename U>
+  bool operator==(const CacheAlignedAlloc<U>&) const {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVec = std::vector<T, CacheAlignedAlloc<T>>;
 
 class RequestIndex {
  public:
@@ -47,7 +84,18 @@ class RequestIndex {
             std::uint64_t num_sags, std::uint64_t num_cds) {
     num_sags_ = num_sags;
     num_cds_ = num_cds;
-    links_.assign(slot_cap, Links{});
+    qprev_.assign(slot_cap, -1);
+    qnext_.assign(slot_cap, -1);
+    gprev_.assign(slot_cap, -1);
+    gnext_.assign(slot_cap, -1);
+    rprev_.assign(slot_cap, -1);
+    rnext_.assign(slot_cap, -1);
+    seq_.assign(slot_cap, 0);
+    row_.assign(slot_cap, 0);
+    bank_.assign(slot_cap, 0);
+    meta_.assign(slot_cap, 0);
+    cds_.assign(slot_cap, 0);
+    flag_.assign(slot_cap, 0);
     groups_.assign(num_banks * num_sags, Group{});
     active_all_.clear();
     active_all_.reserve(groups_.size());
@@ -62,18 +110,34 @@ class RequestIndex {
     row_mask_ = buckets - 1;
     qhead_ = qtail_ = -1;
     size_ = 0;
+    flagged_count_ = 0;
   }
 
   bool empty() const { return size_ == 0; }
   std::uint64_t size() const { return size_; }
+  /// Number of queued members with the sticky bus_blocked flag set — the
+  /// phase engine's O(1) "no flagged candidates" precondition.
+  std::uint64_t flagged_count() const { return flagged_count_; }
 
-  void insert(std::int32_t slot, std::uint64_t bank,
-              const mem::DecodedAddr& a) {
-    Links& l = links_[static_cast<std::size_t>(slot)];
-    l.qprev = qtail_;
-    l.qnext = -1;
+  void insert(std::int32_t slot, std::uint64_t bank, const mem::DecodedAddr& a,
+              std::uint64_t seq, bool flagged = false) {
+    const auto i = static_cast<std::size_t>(slot);
+    seq_[i] = seq;
+    row_[i] = static_cast<std::uint32_t>(a.row);
+    bank_[i] = static_cast<std::uint32_t>(bank);
+    meta_[i] = static_cast<std::uint32_t>(a.sag) << 16 |
+               static_cast<std::uint32_t>(a.cd) << 8 |
+               static_cast<std::uint32_t>(a.cd_count);
+    std::uint64_t cds = 0;
+    for (std::uint64_t c = 0; c < a.cd_count; ++c) cds |= 1ULL << (a.cd + c);
+    cds_[i] = cds;
+    flag_[i] = flagged ? 1 : 0;
+    flagged_count_ += flagged ? 1 : 0;
+
+    qprev_[i] = qtail_;
+    qnext_[i] = -1;
     if (qtail_ >= 0) {
-      links_[static_cast<std::size_t>(qtail_)].qnext = slot;
+      qnext_[static_cast<std::size_t>(qtail_)] = slot;
     } else {
       qhead_ = slot;
     }
@@ -82,10 +146,10 @@ class RequestIndex {
 
     const std::uint64_t g = bank * num_sags_ + a.sag;
     Group& grp = groups_[g];
-    l.gprev = grp.tail;
-    l.gnext = -1;
+    gprev_[i] = grp.tail;
+    gnext_[i] = -1;
     if (grp.tail >= 0) {
-      links_[static_cast<std::size_t>(grp.tail)].gnext = slot;
+      gnext_[static_cast<std::size_t>(grp.tail)] = slot;
     } else {
       grp.head = slot;
     }
@@ -93,80 +157,135 @@ class RequestIndex {
     if (grp.count++ == 0) activate_group(g, bank);
 
     RowEntry& row = row_find_or_insert(row_key(bank, a.row));
-    l.rprev = row.tail;
-    l.rnext = -1;
+    rprev_[i] = row.tail;
+    rnext_[i] = -1;
     if (row.tail >= 0) {
-      links_[static_cast<std::size_t>(row.tail)].rnext = slot;
+      rnext_[static_cast<std::size_t>(row.tail)] = slot;
     } else {
       row.head = slot;
     }
     row.tail = slot;
     ++row.count;
+    row.cds |= cds;
 
     ++bank_count_[bank];
-    for (std::uint64_t i = 0; i < a.cd_count; ++i) {
-      const std::uint64_t c = bank * num_cds_ + a.cd + i;
-      if (cd_count_[c]++ == 0) cd_mask_[bank] |= 1ULL << (a.cd + i);
+    for (std::uint64_t c = 0; c < a.cd_count; ++c) {
+      const std::uint64_t k = bank * num_cds_ + a.cd + c;
+      if (cd_count_[k]++ == 0) cd_mask_[bank] |= 1ULL << (a.cd + c);
     }
   }
 
-  void remove(std::int32_t slot, std::uint64_t bank,
-              const mem::DecodedAddr& a) {
-    Links& l = links_[static_cast<std::size_t>(slot)];
-    if (l.qprev >= 0) {
-      links_[static_cast<std::size_t>(l.qprev)].qnext = l.qnext;
+  /// Removes `slot` using the key image captured at insert — callers no
+  /// longer thread the request's address through.
+  void remove(std::int32_t slot, std::uint64_t bank) {
+    const auto i = static_cast<std::size_t>(slot);
+    if (qprev_[i] >= 0) {
+      qnext_[static_cast<std::size_t>(qprev_[i])] = qnext_[i];
     } else {
-      qhead_ = l.qnext;
+      qhead_ = qnext_[i];
     }
-    if (l.qnext >= 0) {
-      links_[static_cast<std::size_t>(l.qnext)].qprev = l.qprev;
+    if (qnext_[i] >= 0) {
+      qprev_[static_cast<std::size_t>(qnext_[i])] = qprev_[i];
     } else {
-      qtail_ = l.qprev;
+      qtail_ = qprev_[i];
     }
     --size_;
 
-    const std::uint64_t g = bank * num_sags_ + a.sag;
+    const std::uint64_t g = bank * num_sags_ + sag(slot);
     Group& grp = groups_[g];
-    if (l.gprev >= 0) {
-      links_[static_cast<std::size_t>(l.gprev)].gnext = l.gnext;
+    if (gprev_[i] >= 0) {
+      gnext_[static_cast<std::size_t>(gprev_[i])] = gnext_[i];
     } else {
-      grp.head = l.gnext;
+      grp.head = gnext_[i];
     }
-    if (l.gnext >= 0) {
-      links_[static_cast<std::size_t>(l.gnext)].gprev = l.gprev;
+    if (gnext_[i] >= 0) {
+      gprev_[static_cast<std::size_t>(gnext_[i])] = gprev_[i];
     } else {
-      grp.tail = l.gprev;
+      grp.tail = gprev_[i];
     }
     if (--grp.count == 0) deactivate_group(g, bank);
 
-    const std::uint64_t rk = row_key(bank, a.row);
+    const std::uint64_t rk = row_key(bank, row_[i]);
     const std::uint64_t ri = row_find(rk);
     assert(ri != kNoBucket);
     RowEntry& row = rows_[ri];
-    if (l.rprev >= 0) {
-      links_[static_cast<std::size_t>(l.rprev)].rnext = l.rnext;
+    if (rprev_[i] >= 0) {
+      rnext_[static_cast<std::size_t>(rprev_[i])] = rnext_[i];
     } else {
-      row.head = l.rnext;
+      row.head = rnext_[i];
     }
-    if (l.rnext >= 0) {
-      links_[static_cast<std::size_t>(l.rnext)].rprev = l.rprev;
+    if (rnext_[i] >= 0) {
+      rprev_[static_cast<std::size_t>(rnext_[i])] = rprev_[i];
     } else {
-      row.tail = l.rprev;
+      row.tail = rprev_[i];
     }
-    if (--row.count == 0) row_erase(ri);
+    if (--row.count == 0) {
+      row_erase(ri);
+    } else {
+      // OR-aggregates are not subtractable: rebuild the mask from the
+      // remaining members. Row lists are short (bounded by same-row
+      // occupancy, not queue depth), and one rebuild per removal replaces
+      // the per-query walks the selectors and candidate recomputes did.
+      std::uint64_t m = 0;
+      for (std::int32_t s = row.head; s >= 0;
+           s = rnext_[static_cast<std::size_t>(s)]) {
+        m |= cds_[static_cast<std::size_t>(s)];
+      }
+      row.cds = m;
+    }
 
     --bank_count_[bank];
-    for (std::uint64_t i = 0; i < a.cd_count; ++i) {
-      const std::uint64_t c = bank * num_cds_ + a.cd + i;
-      if (--cd_count_[c] == 0) cd_mask_[bank] &= ~(1ULL << (a.cd + i));
+    const std::uint64_t cd0 = cd(slot);
+    const std::uint64_t cdn = cd_count_of(slot);
+    for (std::uint64_t c = 0; c < cdn; ++c) {
+      const std::uint64_t k = bank * num_cds_ + cd0 + c;
+      if (--cd_count_[k] == 0) cd_mask_[bank] &= ~(1ULL << (cd0 + c));
     }
-    l = Links{};
+    qprev_[i] = qnext_[i] = gprev_[i] = gnext_[i] = rprev_[i] = rnext_[i] = -1;
+    flagged_count_ -= flag_[i] != 0 ? 1 : 0;
+    flag_[i] = 0;
+  }
+
+  // ---- per-slot key image (valid while the slot is queued) --------------
+  std::uint64_t seq(std::int32_t slot) const {
+    return seq_[static_cast<std::size_t>(slot)];
+  }
+  std::uint64_t row_of(std::int32_t slot) const {
+    return row_[static_cast<std::size_t>(slot)];
+  }
+  /// Linear bank id captured at insert — lets the hot scans reach the
+  /// owning bank without touching the pooled request.
+  std::uint64_t bank_of(std::int32_t slot) const {
+    return bank_[static_cast<std::size_t>(slot)];
+  }
+  std::uint64_t sag(std::int32_t slot) const {
+    return meta_[static_cast<std::size_t>(slot)] >> 16;
+  }
+  std::uint64_t cd(std::int32_t slot) const {
+    return (meta_[static_cast<std::size_t>(slot)] >> 8) & 0xFF;
+  }
+  std::uint64_t cd_count_of(std::int32_t slot) const {
+    return meta_[static_cast<std::size_t>(slot)] & 0xFF;
+  }
+  /// Line-CD bitmask captured at insert (== the bank's line_cds(addr)).
+  std::uint64_t cds(std::int32_t slot) const {
+    return cds_[static_cast<std::size_t>(slot)];
+  }
+  bool flagged(std::int32_t slot) const {
+    return flag_[static_cast<std::size_t>(slot)] != 0;
+  }
+  /// Mirrors MemRequest::bus_blocked for the hot scans.
+  void set_flag(std::int32_t slot, bool on) {
+    const std::uint8_t v = on ? 1 : 0;
+    std::uint8_t& f = flag_[static_cast<std::size_t>(slot)];
+    flagged_count_ += static_cast<std::uint64_t>(v) - f;
+    f = v;
   }
 
   // ---- global FIFO ------------------------------------------------------
   std::int32_t queue_head() const { return qhead_; }
   std::int32_t queue_next(std::int32_t slot) const {
-    return links_[static_cast<std::size_t>(slot)].qnext;
+    return qnext_[static_cast<std::size_t>(slot)];
   }
 
   // ---- per-(bank, SAG) groups ------------------------------------------
@@ -180,7 +299,7 @@ class RequestIndex {
   /// exactly the requests the pre-index epoch-stamped scan called
   /// "first in group".
   bool is_group_head(std::int32_t slot) const {
-    return links_[static_cast<std::size_t>(slot)].gprev < 0;
+    return gprev_[static_cast<std::size_t>(slot)] < 0;
   }
   /// Global group ids (bank * num_sags + sag) with at least one member.
   /// Unordered — callers needing arrival order sort by sched_seq.
@@ -198,11 +317,27 @@ class RequestIndex {
     return i == kNoBucket ? -1 : rows_[i].head;
   }
   std::int32_t row_next(std::int32_t slot) const {
-    return links_[static_cast<std::size_t>(slot)].rnext;
+    return rnext_[static_cast<std::size_t>(slot)];
   }
   std::uint64_t row_count(std::uint64_t bank, std::uint64_t row) const {
     const std::uint64_t i = row_find(row_key(bank, row));
     return i == kNoBucket ? 0 : rows_[i].count;
+  }
+  /// OR of the line-CD bitmasks of every queued request to (bank, row) —
+  /// the demand-aggregated partial-activation mask, maintained on
+  /// insert/remove so callers skip the per-query list walk.
+  std::uint64_t row_cds(std::uint64_t bank, std::uint64_t row) const {
+    const std::uint64_t i = row_find(row_key(bank, row));
+    return i == kNoBucket ? 0 : rows_[i].cds;
+  }
+  /// Hints the next row/group-list hop's probe image (seq, key fields,
+  /// line-CD mask) into cache while the current member's bank probe runs.
+  void prefetch(std::int32_t slot) const {
+    if (slot < 0) return;
+    const auto i = static_cast<std::size_t>(slot);
+    __builtin_prefetch(&seq_[i]);
+    __builtin_prefetch(&row_[i]);
+    __builtin_prefetch(&cds_[i]);
   }
 
   // ---- aggregates -------------------------------------------------------
@@ -217,13 +352,12 @@ class RequestIndex {
         cd_count >= 64 ? ~0ULL : ((1ULL << cd_count) - 1) << cd;
     return (cd_mask_[bank] & span) != 0;
   }
+  /// Mask variant for callers that already hold a line-CD bitmask.
+  bool cd_overlap_mask(std::uint64_t bank, std::uint64_t mask) const {
+    return (cd_mask_[bank] & mask) != 0;
+  }
 
  private:
-  struct Links {
-    std::int32_t qprev = -1, qnext = -1;  // global FIFO
-    std::int32_t gprev = -1, gnext = -1;  // (bank, SAG) FIFO
-    std::int32_t rprev = -1, rnext = -1;  // (bank, row) FIFO
-  };
   struct Group {
     std::int32_t head = -1, tail = -1;
     std::uint32_t count = 0;
@@ -238,6 +372,7 @@ class RequestIndex {
     std::uint64_t key = kEmptyKey;
     std::int32_t head = -1, tail = -1;
     std::uint32_t count = 0;
+    std::uint64_t cds = 0;  // OR of members' line-CD masks (row_cds)
   };
 
   static std::uint64_t row_key(std::uint64_t bank, std::uint64_t row) {
@@ -312,7 +447,17 @@ class RequestIndex {
 
   std::uint64_t num_sags_ = 1;
   std::uint64_t num_cds_ = 1;
-  std::vector<Links> links_;
+  // SoA link cursors and key images (see the header comment): one
+  // cache-line-aligned array per field.
+  AlignedVec<std::int32_t> qprev_, qnext_;  // global FIFO
+  AlignedVec<std::int32_t> gprev_, gnext_;  // (bank, SAG) FIFO
+  AlignedVec<std::int32_t> rprev_, rnext_;  // (bank, row) FIFO
+  AlignedVec<std::uint64_t> seq_;           // sched_seq mirror
+  AlignedVec<std::uint32_t> row_;           // row within bank
+  AlignedVec<std::uint32_t> bank_;          // linear bank id
+  AlignedVec<std::uint32_t> meta_;          // sag << 16 | cd << 8 | cd_count
+  AlignedVec<std::uint64_t> cds_;           // line-CD bitmask
+  AlignedVec<std::uint8_t> flag_;           // bus_blocked mirror
   std::vector<Group> groups_;
   std::vector<std::uint32_t> active_all_;
   std::vector<std::vector<std::uint32_t>> active_bank_;
@@ -323,6 +468,7 @@ class RequestIndex {
   std::vector<std::uint64_t> cd_mask_;   // per bank
   std::int32_t qhead_ = -1, qtail_ = -1;
   std::uint64_t size_ = 0;
+  std::uint64_t flagged_count_ = 0;
 };
 
 }  // namespace fgnvm::sched

@@ -443,15 +443,21 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
         bool advanced = false;
         // Windowed advance: the next record is blocked on its target
         // channel, whose can_accept answer can only change at that channel's
-        // own event cycles — the earliest being its cached due. Run every
-        // other channel up to that horizon in one advance. After trace
-        // exhaustion, stick to the event path so the final drain-out cycle
-        // (and hence mem_cycles) matches the per-event schedule.
+        // own tick cycles. Run the target channel along its event chain
+        // (with analytic phase fast-forwarding) until capacity frees, then
+        // bring every other channel up to the same resume cycle — while
+        // blocked no channel receives submissions, so the chains are
+        // independent and the result matches the serial per-event schedule
+        // bit for bit. After trace exhaustion, stick to the event path so
+        // the final drain-out cycle (and hence mem_cycles) matches the
+        // per-event schedule.
         if (windows && next_rec < trace.records.size()) {
-          const Cycle horizon = mem.accept_event(trace.records[next_rec].addr);
-          if (horizon != kNeverCycle &&
-              std::min(horizon, max_mem_cycles) > next) {
-            next = std::min(horizon, max_mem_cycles);
+          const Cycle resume =
+              mem.advance_until_accept(trace.records[next_rec].addr,
+                                       trace.records[next_rec].op,
+                                       max_mem_cycles);
+          if (std::min(resume, max_mem_cycles) > next) {
+            next = std::min(resume, max_mem_cycles);
             mem.advance_channels_to(next);
             advanced = true;
           }

@@ -237,6 +237,18 @@ void MemorySystem::advance_channels_to(Cycle horizon) {
   recompute_min_due();
 }
 
+Cycle MemorySystem::advance_until_accept(Addr addr, OpType op, Cycle limit) {
+  const std::uint64_t ch = decoder_.decode(addr).channel;
+  // The returned resume cycle never overshoots the channel's next
+  // actionable cycle (freeing-tick + 1 at most undershoots, which a due
+  // cache is allowed to do), so it re-arms due_ directly.
+  const Cycle resume = channels_[ch]->advance_until_accept(due_[ch], op, limit);
+  due_[ch] = resume;
+  maybe_completed_[ch] = 1;
+  recompute_min_due();
+  return resume;
+}
+
 bool MemorySystem::idle() const {
   return std::all_of(channels_.begin(), channels_.end(),
                      [](const auto& ch) { return ch->idle(); });

@@ -6,13 +6,19 @@
 //    constraints).
 // 2. System fuzz: random workloads x random configurations through the full
 //    runner, checking conservation and termination.
+// 3. Phase-boundary fuzz: the analytic fast-forward (DESIGN.md §12) replayed
+//    against an eager-ticking twin across randomized event windows — every
+//    stat must agree at every window boundary, wherever it falls.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.hpp"
 #include "mem/geometry.hpp"
 #include "nvm/fgnvm_bank.hpp"
+#include "sched/controller.hpp"
 #include "sim/runner.hpp"
 #include "sys/presets.hpp"
 #include "trace/generator.hpp"
@@ -184,6 +190,158 @@ INSTANTIATE_TEST_SUITE_P(
                       SystemFuzzCase{1003, "s3"}, SystemFuzzCase{1004, "s4"},
                       SystemFuzzCase{1005, "s5"}, SystemFuzzCase{1006, "s6"},
                       SystemFuzzCase{1007, "s7"}, SystemFuzzCase{1008, "s8"}),
+    [](const ::testing::TestParamInfo<SystemFuzzCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Phase-boundary fuzz. The chain-driven twin in sched_index_test always
+// hands advance_phase "natural" bounds (the next arrival); here the window
+// boundary is RANDOM, so phases are truncated at arbitrary cycles — mid
+// drain, mid burst, one cycle in. The contract is the same everywhere:
+// advance_phase replays exactly the events below the bound and returns a
+// due cycle that never overshoots the next actionable one, so a controller
+// driven through random windows must match an eager twin that ticks every
+// single cycle, on every stat, at every window boundary.
+
+class PhaseBoundaryFuzz : public ::testing::TestWithParam<SystemFuzzCase> {};
+
+TEST_P(PhaseBoundaryFuzz, RandomWindowsMatchEagerTwin) {
+  Rng rng(GetParam().seed);
+
+  mem::MemGeometry geo = fuzz_geometry(1ULL << rng.next_below(4),
+                                       1ULL << rng.next_below(4));
+  geo.banks_per_rank = 1ULL << rng.next_below(3);
+  const mem::TimingParams timing;
+  nvm::AccessModes modes;
+  modes.partial_activation = rng.next_bool(0.8);
+  modes.multi_activation = rng.next_bool(0.8);
+  modes.background_writes = rng.next_bool(0.8);
+  sched::ControllerConfig cfg;
+  const sched::SchedulerPolicy policies[] = {
+      sched::SchedulerPolicy::kFcfs, sched::SchedulerPolicy::kFrfcfs,
+      sched::SchedulerPolicy::kFrfcfsAugmented};
+  cfg.policy = policies[rng.next_below(3)];
+  cfg.read_queue_cap = 8 + rng.next_below(16);
+  cfg.write_queue_cap = 12 + rng.next_below(24);
+  cfg.wq_high = cfg.write_queue_cap / 2;
+  cfg.wq_low = 2;
+  cfg.bg_write_min = 2;
+  cfg.bg_write_inflight_max = 3;
+
+  const mem::AddressDecoder dec(geo);
+  const sched::BankFactory make = [&]() -> std::unique_ptr<nvm::Bank> {
+    return std::make_unique<nvm::FgNvmBank>(geo, timing, modes);
+  };
+  sched::ControllerT<nvm::FgNvmBank> fast(geo, timing, cfg, make);
+  sched::ControllerT<nvm::FgNvmBank> eager(geo, timing, cfg, make);
+  fast.set_phase_engine(true);    // independent of the FGNVM_PHASE_ENGINE
+  eager.set_phase_engine(false);  // env, so every CI matrix leg agrees
+
+  struct Planned {
+    Cycle at;
+    Addr addr;
+    OpType op;
+  };
+  const double wfrac = 0.2 + rng.next_double() * 0.6;
+  std::vector<Planned> plan;
+  Cycle at = 0;
+  std::uint64_t hot_row = 0, hot_bank = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    at += rng.next_below(10);
+    if (rng.next_bool(0.06)) {
+      hot_row = rng.next_below(geo.rows_per_bank);
+      hot_bank = rng.next_below(geo.banks_per_rank);
+    }
+    const bool hot = rng.next_bool(0.7);
+    plan.push_back(
+        {at,
+         dec.encode(0, 0, hot ? hot_bank : rng.next_below(geo.banks_per_rank),
+                    hot ? hot_row : rng.next_below(geo.rows_per_bank),
+                    rng.next_below(geo.lines_per_row())),
+         rng.next_bool(wfrac) ? OpType::kWrite : OpType::kRead});
+  }
+
+  std::size_t next = 0;
+  Cycle now = 0;     // fast twin's clock (window boundaries)
+  Cycle ticked = 0;  // eager twin has ticked every cycle < ticked
+  std::uint64_t id = 0;
+  std::uint64_t completed_fast = 0, completed_eager = 0;
+  while (next < plan.size() || !fast.idle()) {
+    ASSERT_LT(now, 10'000'000u);
+    while (ticked < now) {
+      eager.tick(ticked);
+      ++ticked;
+    }
+    ASSERT_EQ(fast.stats().to_string(), eager.stats().to_string())
+        << "window boundary at cycle " << now;
+    completed_fast += fast.take_completed().size();
+    completed_eager += eager.take_completed().size();
+    ASSERT_EQ(completed_fast, completed_eager) << "at cycle " << now;
+    while (next < plan.size() && plan[next].at <= now) {
+      ASSERT_EQ(fast.can_accept(plan[next].op),
+                eager.can_accept(plan[next].op))
+          << "at cycle " << now;
+      if (!fast.can_accept(plan[next].op)) break;
+      mem::MemRequest r;
+      r.id = id++;
+      r.op = plan[next].op;
+      r.addr = dec.decode(plan[next].addr);
+      fast.enqueue(r, now);
+      eager.enqueue(r, now);
+      ++next;
+    }
+    const bool backpressured = next < plan.size() && plan[next].at <= now;
+    // Random window: sometimes a single cycle, sometimes spanning whole
+    // phases. While backpressured, acceptance must be retested every cycle.
+    Cycle bound = backpressured ? now + 1 : now + 1 + rng.next_below(200);
+    if (!backpressured && next < plan.size()) {
+      bound = std::min(bound, std::max(plan[next].at, now + 1));
+    }
+    const Cycle fwd = fast.advance_phase(now, bound);
+    ASSERT_GE(fwd, now);
+    if (fwd == kNeverCycle) {
+      // Phase retired everything below the bound and the chain died
+      // (channel idle); let the eager twin tick through the window too.
+      now = next < plan.size() ? std::max(plan[next].at, now + 1) : bound;
+      continue;
+    }
+    if (fwd > now) {
+      now = fwd;
+      continue;
+    }
+    fast.tick(now);
+    const Cycle ne = fast.next_event(now);
+    Cycle step;
+    if (ne == kNeverCycle) {
+      if (next >= plan.size()) {
+        now = now + 1;
+        break;
+      }
+      step = std::max(plan[next].at, now + 1);
+    } else {
+      step = std::min(ne, bound);
+    }
+    now = std::max(step, now + 1);
+  }
+  while (ticked < now) {
+    eager.tick(ticked);
+    ++ticked;
+  }
+  EXPECT_EQ(fast.stats().to_string(), eager.stats().to_string());
+  completed_fast += fast.take_completed().size();
+  completed_eager += eager.take_completed().size();
+  EXPECT_EQ(completed_fast, completed_eager);
+  EXPECT_TRUE(eager.idle());
+  EXPECT_EQ(next, plan.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PhaseBoundaryFuzz,
+    ::testing::Values(SystemFuzzCase{2001, "p1"}, SystemFuzzCase{2002, "p2"},
+                      SystemFuzzCase{2003, "p3"}, SystemFuzzCase{2004, "p4"},
+                      SystemFuzzCase{2005, "p5"}, SystemFuzzCase{2006, "p6"},
+                      SystemFuzzCase{2007, "p7"}, SystemFuzzCase{2008, "p8"}),
     [](const ::testing::TestParamInfo<SystemFuzzCase>& info) {
       return info.param.label;
     });

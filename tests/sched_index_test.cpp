@@ -21,6 +21,7 @@
 
 #include "common/random.hpp"
 #include "cpu/rob_cpu.hpp"
+#include "dram/dram_bank.hpp"
 #include "mem/geometry.hpp"
 #include "mem/timing.hpp"
 #include "nvm/fgnvm_bank.hpp"
@@ -279,6 +280,225 @@ TEST(MemorySystemDifferential, LazyAndWindowedMatchEagerAcrossChannels) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Phase-engine differential twin (DESIGN.md §12): a controller advanced
+// along its event chain with the analytic phase engine forced ON is
+// compared against an eager twin (engine OFF) that ticks every single
+// cycle. The twins receive the identical arrival stream, and the full stats
+// rendering plus the completed-read ids are compared at EVERY chain/phase
+// boundary — so a phase that overshoots an actionable cycle (skipping an
+// event the eager twin executes) or mis-replays any commit diverges at the
+// very next boundary, pinpointing the phase that fired. Three policies x
+// two bank technologies; DRAM's refresh bookkeeping is not pure-timing, so
+// only the retire-only phase may fire there — the equivalence must hold
+// regardless.
+
+struct PhaseTwinCase {
+  SchedulerPolicy policy;
+  bool dram;
+  std::uint64_t seed;
+};
+
+std::string phase_twin_name(const PhaseTwinCase& c) {
+  return std::string(to_string(c.policy)) + (c.dram ? "_dram" : "_fgnvm");
+}
+
+class PhaseTwinTest : public ::testing::TestWithParam<PhaseTwinCase> {};
+
+TEST_P(PhaseTwinTest, FastForwardMatchesEagerAtEveryBoundary) {
+  const PhaseTwinCase& c = GetParam();
+  mem::MemGeometry geo;
+  geo.banks_per_rank = 4;
+  geo.rows_per_bank = 1024;
+  geo.row_bytes = 1024;
+  geo.line_bytes = 64;
+  geo.num_sags = 4;
+  geo.num_cds = c.dram ? 1 : 4;  // DRAM has no CD dimension
+  const mem::TimingParams timing =
+      c.dram ? dram::ddr3_timing() : mem::TimingParams{};
+  ControllerConfig cfg;
+  cfg.policy = c.policy;
+  cfg.read_queue_cap = 16;
+  cfg.write_queue_cap = 24;
+  cfg.wq_high = 12;
+  cfg.wq_low = 3;
+  cfg.bg_write_min = 2;
+  cfg.bg_write_inflight_max = 3;
+  const mem::AddressDecoder dec(geo);
+  const BankFactory make = [&]() -> std::unique_ptr<nvm::Bank> {
+    if (c.dram) return std::make_unique<dram::DramBank>(geo, timing);
+    return std::make_unique<nvm::FgNvmBank>(geo, timing,
+                                            nvm::AccessModes::all_on());
+  };
+  // The shipped statically-dispatched instantiations, driven through the
+  // type-erased facade exactly as sys::MemorySystem drives them.
+  std::unique_ptr<ControllerBase> fast;
+  std::unique_ptr<ControllerBase> eager;
+  if (c.dram) {
+    fast = std::make_unique<ControllerT<dram::DramBank>>(geo, timing, cfg,
+                                                         make);
+    eager = std::make_unique<ControllerT<dram::DramBank>>(geo, timing, cfg,
+                                                          make);
+  } else {
+    fast = std::make_unique<ControllerT<nvm::FgNvmBank>>(geo, timing, cfg,
+                                                         make);
+    eager = std::make_unique<ControllerT<nvm::FgNvmBank>>(geo, timing, cfg,
+                                                          make);
+  }
+  fast->set_phase_engine(true);    // override the FGNVM_PHASE_ENGINE env
+  eager->set_phase_engine(false);  // default so both CI matrix legs agree
+
+  // Write-heavy, row-local bursty plan so drains, row-hit bursts and
+  // idle-retire tails all occur. Arrivals are pre-scheduled so both twins
+  // are offered the identical stream.
+  struct Planned {
+    Cycle at;
+    Addr addr;
+    OpType op;
+  };
+  Rng rng(c.seed);
+  std::vector<Planned> plan;
+  Cycle at = 0;
+  std::uint64_t hot_row = 0, hot_bank = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    at += rng.next_below(8);
+    if (rng.next_bool(0.05)) {
+      hot_row = rng.next_below(geo.rows_per_bank);
+      hot_bank = rng.next_below(geo.banks_per_rank);
+    }
+    const bool hot = rng.next_bool(0.7);
+    plan.push_back(
+        {at,
+         dec.encode(0, 0, hot ? hot_bank : rng.next_below(geo.banks_per_rank),
+                    hot ? hot_row : rng.next_below(geo.rows_per_bank),
+                    rng.next_below(geo.lines_per_row())),
+         rng.next_bool(0.5) ? OpType::kWrite : OpType::kRead});
+  }
+  // Quiet read-only tail: long gaps let the idle drain empty the write
+  // queue, leaving isolated in-flight reads — the retire-only phase's
+  // precondition — so the engine provably fires under every policy (the
+  // augmented policy's backgrounded writes veto the burst/drain phases for
+  // most of the mixed portion above).
+  for (int i = 0; i < 5; ++i) {
+    at += 5000;
+    plan.push_back({at,
+                    dec.encode(0, 0, rng.next_below(geo.banks_per_rank),
+                               rng.next_below(geo.rows_per_bank),
+                               rng.next_below(geo.lines_per_row())),
+                    OpType::kRead});
+  }
+
+  const auto ids_of = [](std::vector<mem::MemRequest> v) {
+    std::string s;
+    for (const mem::MemRequest& r : v) s += std::to_string(r.id) + ",";
+    return s;
+  };
+
+  std::size_t next = 0;
+  Cycle now = 0;      // fast twin's clock (chain/phase boundaries only)
+  Cycle ticked = 0;   // eager twin has ticked every cycle < ticked
+  std::uint64_t id = 0;
+  while (next < plan.size() || !fast->idle()) {
+    ASSERT_LT(now, 10'000'000u) << phase_twin_name(c);
+    // Eager twin catches up: ticks EVERY cycle up to the boundary. Ticks at
+    // the fast twin's skipped cycles are no-ops by the next_event contract.
+    while (ticked < now) {
+      eager->tick(ticked);
+      ++ticked;
+    }
+    // Boundary comparison: every stat, and the exact completed-read ids.
+    ASSERT_EQ(fast->stats().to_string(), eager->stats().to_string())
+        << phase_twin_name(c) << " diverged at cycle " << now;
+    ASSERT_EQ(ids_of(fast->take_completed()), ids_of(eager->take_completed()))
+        << phase_twin_name(c) << " completions diverged at cycle " << now;
+    // Deliver due arrivals; acceptance must agree (identical state).
+    while (next < plan.size() && plan[next].at <= now) {
+      ASSERT_EQ(fast->can_accept(plan[next].op),
+                eager->can_accept(plan[next].op))
+          << phase_twin_name(c) << " at cycle " << now;
+      if (!fast->can_accept(plan[next].op)) break;
+      mem::MemRequest r;
+      r.id = id++;
+      r.op = plan[next].op;
+      r.addr = dec.decode(plan[next].addr);
+      fast->enqueue(r, now);
+      eager->enqueue(r, now);
+      ++next;
+    }
+    // While backpressured, step cycle by cycle (acceptance is retested at
+    // every cycle, as the runner's serial schedule would).
+    const bool backpressured = next < plan.size() && plan[next].at <= now;
+    const Cycle bound =
+        backpressured
+            ? now + 1
+            : (next < plan.size() ? std::max(plan[next].at, now + 1)
+                                  : now + 100'000);
+    // advance_phase replays events strictly below `bound` and returns the
+    // next due cycle (which may lie beyond the bound — it is the resume
+    // point, not a replayed cycle). Overshooting an actionable cycle would
+    // skip an event the eager twin executes, so it surfaces as a stats or
+    // completion divergence at the very next boundary comparison above.
+    const Cycle fwd = fast->advance_phase(now, bound);
+    ASSERT_GE(fwd, now) << phase_twin_name(c);
+    if (fwd == kNeverCycle) {
+      // The phase retired everything below the bound and the chain died
+      // (channel idle). Let the eager twin tick through the window too.
+      now = next < plan.size() ? std::max(plan[next].at, now + 1) : bound;
+      continue;
+    }
+    if (fwd > now) {
+      now = fwd;  // phase replayed [now, min(fwd, bound)); eager re-executes
+      continue;
+    }
+    fast->tick(now);
+    const Cycle ne = fast->next_event(now);
+    Cycle step;
+    if (ne == kNeverCycle) {
+      if (next >= plan.size()) {
+        now = now + 1;  // final boundary: let the eager twin tick `now`
+        break;
+      }
+      step = std::max(plan[next].at, now + 1);
+    } else {
+      step = std::min(ne, bound);
+    }
+    now = std::max(step, now + 1);
+  }
+  while (ticked < now) {
+    eager->tick(ticked);
+    ++ticked;
+  }
+  EXPECT_EQ(fast->stats().to_string(), eager->stats().to_string())
+      << phase_twin_name(c) << " final stats";
+  EXPECT_EQ(ids_of(fast->take_completed()), ids_of(eager->take_completed()));
+  EXPECT_TRUE(eager->idle());
+  EXPECT_EQ(next, plan.size()) << phase_twin_name(c);
+  // The eager twin must never fast-forward, and the FgNVM fast twin must
+  // actually exercise the phase engine (DRAM is not pure-timing, so only
+  // its retire-only phase may fire — equivalence is the assertion there).
+  const PhaseStats& ps = fast->phase_stats();
+  const PhaseStats& eps = eager->phase_stats();
+  EXPECT_EQ(eps.retire_phases + eps.drain_phases + eps.burst_phases, 0u);
+  if (!c.dram) {
+    EXPECT_GT(ps.retire_phases + ps.drain_phases + ps.burst_phases, 0u)
+        << phase_twin_name(c) << ": phase engine never fired";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Twin, PhaseTwinTest,
+    ::testing::Values(PhaseTwinCase{SchedulerPolicy::kFcfs, false, 101},
+                      PhaseTwinCase{SchedulerPolicy::kFrfcfs, false, 102},
+                      PhaseTwinCase{SchedulerPolicy::kFrfcfsAugmented, false,
+                                    103},
+                      PhaseTwinCase{SchedulerPolicy::kFcfs, true, 104},
+                      PhaseTwinCase{SchedulerPolicy::kFrfcfs, true, 105},
+                      PhaseTwinCase{SchedulerPolicy::kFrfcfsAugmented, true,
+                                    106}),
+    [](const ::testing::TestParamInfo<PhaseTwinCase>& info) {
+      return phase_twin_name(info.param);
+    });
 
 // ---------------------------------------------------------------------------
 // Core fast-forward differential: RobCpu::next_action's classification is
