@@ -1,6 +1,6 @@
 // Performance smoke test with machine-readable output.
 //
-// Measures six throughput figures and writes them as JSON so CI and
+// Measures seven throughput figures and writes them as JSON so CI and
 // regression tooling can track them without parsing tables:
 //  * end-to-end simulator throughput: simulated memory operations per
 //    wall-clock second for the milc workload on the 4x4 FgNVM config;
@@ -13,6 +13,9 @@
 //  * multi-channel throughput: the milc workload on the same 4x4 config
 //    widened to 4 channels (serial advance, run_threads=1) — tracks the
 //    per-channel due caches and the windowed channel advance;
+//  * hybrid-migration throughput: a hot-set workload on the RBLA hybrid
+//    (DESIGN.md §13) — tracks the migration engine, remap routing, and the
+//    wake-clamped event loop;
 //  * compute-bound throughput: eight wrf cores (the lowest-MPKI profile)
 //    multiprogrammed on the 4x4 config — dominated by compute-only gaps
 //    between LLC misses, so it tracks the core-side analytic fast-forward
@@ -138,6 +141,42 @@ int main(int argc, char** argv) {
   const double multi_channel_mem_ops_per_sec =
       static_cast<double>(ops) * runs / mc_secs;
 
+  // Hybrid-migration throughput: a hot-set workload (small footprint, row-
+  // buffer-hostile) on the RBLA hybrid (DESIGN.md §13). Wall time includes
+  // the full migration engine: RBLA bookkeeping on every submit, injected
+  // row-move traffic through the controllers, and the wake-clamped event
+  // loop around in-flight migrations.
+  trace::WorkloadProfile hy_profile;
+  hy_profile.name = "hybrid_hotset";
+  hy_profile.mpki = 30.0;
+  hy_profile.write_fraction = 0.3;
+  hy_profile.row_locality = 0.1;
+  hy_profile.random_fraction = 0.8;
+  hy_profile.footprint_bytes = 256ULL << 10;
+  hy_profile.num_streams = 4;
+  hy_profile.seed = 7;
+  const trace::Trace hy_tr = trace::generate_trace(hy_profile, ops);
+  sys::HybridSystemConfig hy_cfg = sys::hybrid_config(4, 4);
+  hy_cfg.hybrid.migration_threshold = 2;
+  hy_cfg.hybrid.migration_epoch = 100'000;
+  (void)sim::run_workload(hy_tr, hy_cfg);  // warm-up
+  const auto th = clock::now();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = sim::run_workload(hy_tr, hy_cfg);
+    if (r.reads + r.writes == 0 ||
+        r.controller.counter("hybrid_migrations") == 0) {
+      std::cerr << "perf_smoke: hybrid run " << i << " retired "
+                << (r.reads + r.writes) << " memory ops / "
+                << r.controller.counter("hybrid_migrations")
+                << " migrations — refusing to report throughput\n";
+      return 1;
+    }
+  }
+  const double hy_secs =
+      std::chrono::duration<double>(clock::now() - th).count();
+  const double hybrid_mem_ops_per_sec =
+      static_cast<double>(ops) * runs / hy_secs;
+
   // Compute-bound throughput: 8 wrf cores share the 4x4 config. wrf is the
   // lowest-MPKI evaluation profile, so wall time is dominated by the
   // compute-only gaps between misses — the regime the core-side
@@ -186,6 +225,7 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"multi_channel_mem_ops_per_sec\": "
        << multi_channel_mem_ops_per_sec << ",\n"
+       << "  \"hybrid_mem_ops_per_sec\": " << hybrid_mem_ops_per_sec << ",\n"
        << "  \"compute_bound_mem_ops_per_sec\": "
        << compute_bound_mem_ops_per_sec << ",\n"
        << "  \"sweep_workloads\": " << traces.all().size() << ",\n"
@@ -204,6 +244,8 @@ int main(int argc, char** argv) {
             << " ops, 80% writes, deep queues)\n"
             << "multi-channel mem-ops/sec: " << multi_channel_mem_ops_per_sec
             << " (" << runs << " x " << ops << " ops, 4 channels, serial)\n"
+            << "hybrid mem-ops/sec: " << hybrid_mem_ops_per_sec << " (" << runs
+            << " x " << ops << " ops, RBLA hybrid, hot set)\n"
             << "compute-bound mem-ops/sec: " << compute_bound_mem_ops_per_sec
             << " (" << runs << " x 8 wrf cores x " << ops << " ops)\n"
             << "sweep wall seconds: " << sweep_secs << " ("

@@ -15,6 +15,7 @@
 
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sys/hybrid.hpp"
 #include "sys/memory_system.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
@@ -98,6 +99,13 @@ int main(int argc, char** argv) {
     const Config raw = Config::from_file(opts->config_path);
     sys::SystemConfig cfg = sys::SystemConfig::from_config(raw);
     if (opts->obs_prefix) cfg.obs.enabled = true;
+    // `hybrid = true` puts a DRAM partition with RBLA migration in front of
+    // the FgNVM backend (DESIGN.md §13); hybrid_* keys tune it.
+    std::optional<sys::HybridSystemConfig> hybrid;
+    if (raw.get_bool("hybrid", false)) {
+      hybrid.emplace(sys::HybridSystemConfig::from_config(raw));
+      hybrid->nvm.obs.enabled = cfg.obs.enabled;
+    }
 
     trace::Trace tr;
     if (opts->trace_path) {
@@ -109,14 +117,23 @@ int main(int argc, char** argv) {
 
     std::cout << "config:   " << cfg.name << " (" << cfg.geometry.to_string()
               << ")\n"
-              << "timing:   " << cfg.timing.to_string() << "\n"
-              << "workload: " << tr.name << ", " << tr.records.size()
+              << "timing:   " << cfg.timing.to_string() << "\n";
+    if (hybrid) {
+      std::cout << "hybrid:   DRAM partition " << hybrid->hybrid.dram_banks
+                << " banks x " << hybrid->hybrid.dram_rows
+                << " rows, RBLA threshold "
+                << hybrid->hybrid.migration_threshold << ", epoch "
+                << hybrid->hybrid.migration_epoch << "\n";
+    }
+    std::cout << "workload: " << tr.name << ", " << tr.records.size()
               << " memory ops, " << tr.total_instructions()
               << " instructions\n\n";
 
-    const sim::RunResult r = opts->memory_only
-                                 ? sim::run_memory_only(tr, cfg)
-                                 : sim::run_workload(tr, cfg);
+    const sim::RunResult r =
+        hybrid ? (opts->memory_only ? sim::run_memory_only(tr, *hybrid)
+                                    : sim::run_workload(tr, *hybrid))
+               : (opts->memory_only ? sim::run_memory_only(tr, cfg)
+                                    : sim::run_workload(tr, cfg));
 
     if (!opts->memory_only) {
       std::cout << "IPC                 " << r.ipc << "\n";
@@ -129,6 +146,18 @@ int main(int argc, char** argv) {
               << "activations (R/W)   " << r.banks.acts_for_read << " / "
               << r.banks.acts_for_write << "\n"
               << "underfetch ACTs     " << r.banks.underfetch_acts << "\n";
+    if (hybrid) {
+      const double hits =
+          static_cast<double>(r.controller.counter("hybrid_dram_hits"));
+      const double total =
+          hits +
+          static_cast<double>(r.controller.counter("hybrid_nvm_accesses"));
+      std::cout << "migrations          "
+                << r.controller.counter("hybrid_migrations") << " in, "
+                << r.controller.counter("hybrid_demotions") << " out\n"
+                << "DRAM hit rate       "
+                << (total == 0 ? 0.0 : hits / total) << "\n";
+    }
 
     if (opts->json_path) {
       std::ofstream f(*opts->json_path);

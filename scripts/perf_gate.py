@@ -7,8 +7,11 @@ fresh BENCH_sim_throughput.json against the committed baseline and fails
 sets must match exactly: a key present in only one file fails the gate with
 a message naming it, so a renamed or dropped scenario cannot silently stop
 being gated — when adding or removing a scenario, re-bless the baseline
-with --update in the same change. Gains beyond the tolerance are reported
-but never fail the gate.
+with --update in the same change. With --allow-new-keys, a key present only
+in the current file is reported as a warning instead (for landing a new
+scenario before its same-machine baseline is blessed); a key missing from
+the current file still fails. Gains beyond the tolerance are reported but
+never fail the gate.
 
 When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), a per-key
 baseline/current/delta/speedup markdown table is appended to it, so perf
@@ -98,7 +101,16 @@ def main() -> int:
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current result")
+    ap.add_argument("--allow-new-keys", action="store_true",
+                    help="a key present only in --current warns instead of "
+                         "failing (landing a new scenario before its "
+                         "baseline is blessed); missing keys still fail")
     args = ap.parse_args()
+
+    if not args.current.is_file() or args.current.stat().st_size == 0:
+        sys.exit(f"perf_gate: --current {args.current} is missing or empty — "
+                 "bench/perf_smoke likely failed before writing it; check "
+                 "that step's output.")
 
     current = load(args.current)
 
@@ -123,6 +135,11 @@ def main() -> int:
         if key not in baseline or key not in current:
             where = "baseline" if key in baseline else "current"
             missing = "current" if key in baseline else "baseline"
+            if key not in baseline and args.allow_new_keys:
+                print(f"perf_gate: WARNING — {key} is new (not in the "
+                      f"baseline); not gated this run. Bless it with "
+                      f"--update so it gets a floor.", file=sys.stderr)
+                continue
             print(f"perf_gate: {key} present in {where} but missing from "
                   f"{missing}", file=sys.stderr)
             mismatched.append(key)

@@ -51,7 +51,7 @@ std::uint64_t RequestTrace::blocked_total() const {
 namespace {
 constexpr const char* kCsvHeader =
     "cycle,ipc,read_q,write_q,inflight,mean_bank_q,max_bank_q,open_acts,"
-    "busy_tiles,tile_util";
+    "busy_tiles,tile_util,migrations,dram_hit_rate";
 
 std::string format_double(double v) {
   std::ostringstream os;
@@ -67,7 +67,8 @@ std::string TimeSeries::to_csv() const {
     os << s.cycle << ',' << format_double(s.ipc) << ',' << s.read_q << ','
        << s.write_q << ',' << s.inflight << ',' << format_double(s.mean_bank_q)
        << ',' << s.max_bank_q << ',' << s.open_acts << ',' << s.busy_tiles
-       << ',' << format_double(s.tile_util) << "\n";
+       << ',' << format_double(s.tile_util) << ',' << s.migrations << ','
+       << format_double(s.dram_hit_rate) << "\n";
   }
   return os.str();
 }
@@ -85,7 +86,7 @@ TimeSeries TimeSeries::from_csv(const std::string& csv) {
     std::string field;
     std::vector<std::string> fields;
     while (std::getline(ls, field, ',')) fields.push_back(field);
-    if (fields.size() != 10) {
+    if (fields.size() != 12) {
       throw std::runtime_error("TimeSeries::from_csv: bad row: " + line);
     }
     TimeSeriesSample s;
@@ -99,6 +100,8 @@ TimeSeries TimeSeries::from_csv(const std::string& csv) {
     s.open_acts = std::strtoull(fields[7].c_str(), nullptr, 10);
     s.busy_tiles = std::strtoull(fields[8].c_str(), nullptr, 10);
     s.tile_util = std::strtod(fields[9].c_str(), nullptr);
+    s.migrations = std::strtoull(fields[10].c_str(), nullptr, 10);
+    s.dram_hit_rate = std::strtod(fields[11].c_str(), nullptr);
     ts.push(s);
   }
   return ts;
@@ -113,7 +116,8 @@ bool TimeSeries::operator==(const TimeSeries& other) const {
         a.write_q != b.write_q || a.inflight != b.inflight ||
         a.mean_bank_q != b.mean_bank_q || a.max_bank_q != b.max_bank_q ||
         a.open_acts != b.open_acts || a.busy_tiles != b.busy_tiles ||
-        a.tile_util != b.tile_util) {
+        a.tile_util != b.tile_util || a.migrations != b.migrations ||
+        a.dram_hit_rate != b.dram_hit_rate) {
       return false;
     }
   }

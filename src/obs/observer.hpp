@@ -119,6 +119,9 @@ struct TimeSeriesSample {
   std::uint64_t open_acts = 0;     // SAGs with an ACT/write in progress
   std::uint64_t busy_tiles = 0;    // (SAG, CD) tile groups actively busy
   double tile_util = 0.0;          // busy_tiles / total tile groups
+  std::uint64_t migrations = 0;    // hybrid: cumulative completed promotions
+  double dram_hit_rate = 0.0;      // hybrid: lifetime DRAM share of demand
+                                   // accesses (0 for non-hybrid systems)
 };
 
 /// Append-only sample log with exact CSV round-tripping.

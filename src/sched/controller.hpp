@@ -184,6 +184,12 @@ class ControllerBase {
   /// Force the phase engine on/off (overrides the FGNVM_PHASE_ENGINE env
   /// default). Off, advance_phase always declines.
   virtual void set_phase_engine(bool on) = 0;
+  /// Temporary phase decline, same contract as the drain-latch rule: while
+  /// held, advance_phase returns `now` so every window is walked tick by
+  /// tick. sys::HybridMemorySystem holds its channels while a row migration
+  /// is in flight — the migration engine injects requests at loop-iteration
+  /// cycles, and a closed-form replay must not run past one.
+  virtual void set_phase_hold(bool held) = 0;
 
   /// Lower bound on the first cycle > now at which this channel could hand
   /// a completion to the caller: now+1 with completions already pending,
@@ -241,6 +247,7 @@ class ControllerT final : public ControllerBase {
   Cycle advance_phase(Cycle now, Cycle bound) override;
   const PhaseStats& phase_stats() const override { return phase_stats_; }
   void set_phase_engine(bool on) override { phase_enabled_ = on; }
+  void set_phase_hold(bool held) override { phase_hold_ = held; }
   Cycle completion_bound(Cycle now) const override;
   bool idle() const override;
 
@@ -462,6 +469,7 @@ class ControllerT final : public ControllerBase {
 
   bool cross_check_ = false;
   bool phase_enabled_ = true;  // FGNVM_PHASE_ENGINE env default, see ctor
+  bool phase_hold_ = false;    // see ControllerBase::set_phase_hold
   PhaseStats phase_stats_;
 
   // Scratch vectors for the selection paths (members so the hot paths stay

@@ -1034,7 +1034,9 @@ Cycle ControllerT<BankT>::advance_until_accept(Cycle due, OpType op,
 template <typename BankT>
 Cycle ControllerT<BankT>::advance_phase_impl(Cycle now, Cycle bound,
                                              const OpType* stop_accept) {
-  if (!phase_enabled_ || obs_ != nullptr || now >= bound) return now;
+  if (!phase_enabled_ || phase_hold_ || obs_ != nullptr || now >= bound) {
+    return now;
+  }
   // A pending drain-latch flip must be applied by a real tick at now/t0.
   if (writes_.drain_update_pending()) return now;
   if (ridx_.empty() && widx_.empty()) {

@@ -213,7 +213,9 @@ std::string obs_json(const obs::Observer& o, int indent) {
          << ", \"max_bank_q\": " << s.max_bank_q
          << ", \"open_acts\": " << s.open_acts
          << ", \"busy_tiles\": " << s.busy_tiles
-         << ", \"tile_util\": " << s.tile_util << "}";
+         << ", \"tile_util\": " << s.tile_util
+         << ", \"migrations\": " << s.migrations
+         << ", \"dram_hit_rate\": " << s.dram_hit_rate << "}";
     }
     ts << "]";
     w.raw_field("time_series", ts.str());

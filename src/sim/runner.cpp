@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +16,12 @@ double RunResult::energy_per_op_pj() const {
 }
 
 namespace {
+
+/// Builds a fresh system for one loop run. The paranoid cross-check runs
+/// the loop twice, so the loop bodies take a factory instead of a
+/// ready-made system; the concrete type (MemorySystem or
+/// HybridMemorySystem) is the entry-point overload's choice.
+using SystemFactory = std::function<std::unique_ptr<sys::MemorySystem>()>;
 
 RunResult finalize(const std::string& workload, sys::MemorySystem& mem,
                    Cycle mem_cycles) {
@@ -32,6 +39,7 @@ RunResult finalize(const std::string& workload, sys::MemorySystem& mem,
   r.p50_read_latency = hist.percentile(0.50);
   r.p95_read_latency = hist.percentile(0.95);
   r.p99_read_latency = hist.percentile(0.99);
+  mem.finalize_obs(mem_cycles);
   if (obs::Observer* o = mem.observer()) {
     o->set_run_info(workload, mem.config().name);
     // The instruction source captures loop-local state; the observer itself
@@ -128,10 +136,11 @@ class Differ {
 // ------------------------------------------------------------ loop bodies
 
 RunResult run_workload_loop(const trace::Trace& trace,
-                            const sys::SystemConfig& sys_cfg,
+                            const SystemFactory& make_system,
                             const cpu::CpuParams& cpu_params,
                             Cycle max_mem_cycles, bool skip) {
-  sys::MemorySystem mem(sys_cfg);
+  const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
+  sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
   cpu::RobCpu core(trace, cpu_params, mem);
   if (obs::Observer* o = mem.observer()) {
@@ -144,7 +153,7 @@ RunResult run_workload_loop(const trace::Trace& trace,
   while (!core.finished() || !mem.idle()) {
     if (t >= max_mem_cycles) {
       throw std::runtime_error("run_workload: exceeded max_mem_cycles on " +
-                               trace.name + " / " + sys_cfg.name);
+                               trace.name + " / " + mem.config().name);
     }
     mem.drain_completed(done);
     core.complete(done);
@@ -210,9 +219,10 @@ RunResult run_workload_loop(const trace::Trace& trace,
 }
 
 MultiProgramResult run_multiprogrammed_loop(
-    const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
+    const std::vector<trace::Trace>& traces, const SystemFactory& make_system,
     const cpu::CpuParams& cpu_params, Cycle max_mem_cycles, bool skip) {
-  sys::MemorySystem mem(sys_cfg);
+  const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
+  sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
   std::vector<std::unique_ptr<cpu::RobCpu>> cores;
   cores.reserve(traces.size());
@@ -234,8 +244,7 @@ MultiProgramResult run_multiprogrammed_loop(
   // per-drain read count is bounded by the per-channel read queue capacity.
   std::vector<std::vector<mem::MemRequest>> per_core(cores.size());
   for (auto& bucket : per_core) {
-    bucket.reserve(sys_cfg.controller.read_queue_cap *
-                   sys_cfg.geometry.channels);
+    bucket.reserve(mem.config().controller.read_queue_cap * mem.channels());
   }
   const auto build_result = [&](Cycle mem_cycles) {
     MultiProgramResult r;
@@ -247,6 +256,7 @@ MultiProgramResult run_multiprogrammed_loop(
       r.ipc.push_back(cores[i]->ipc());
       r.cpu_cycles.push_back(cores[i]->cpu_cycles());
     }
+    mem.finalize_obs(mem_cycles);
     if (obs::Observer* o = mem.observer()) {
       o->set_run_info("multiprogram", mem.config().name);
       o->set_instruction_source(nullptr);  // captures the loop-local cores
@@ -411,9 +421,10 @@ MultiProgramResult run_multiprogrammed_loop(
 }
 
 RunResult run_memory_only_loop(const trace::Trace& trace,
-                               const sys::SystemConfig& sys_cfg,
+                               const SystemFactory& make_system,
                                Cycle max_mem_cycles, bool skip) {
-  sys::MemorySystem mem(sys_cfg);
+  const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
+  sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
   const bool windows = skip && mem.lazy_scheduling();
   std::size_t next_rec = 0;
@@ -423,7 +434,7 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
   while (next_rec < trace.records.size() || !mem.idle()) {
     if (t >= max_mem_cycles) {
       throw std::runtime_error("run_memory_only: exceeded max_mem_cycles on " +
-                               trace.name + " / " + sys_cfg.name);
+                               trace.name + " / " + mem.config().name);
     }
     mem.drain_completed(done);
     while (next_rec < trace.records.size() &&
@@ -540,21 +551,52 @@ std::string diff_results(const MultiProgramResult& a,
 
 // ------------------------------------------------------------ entry points
 
+namespace {
+
+SystemFactory plain_factory(const sys::SystemConfig& sys_cfg) {
+  return [&sys_cfg] { return std::make_unique<sys::MemorySystem>(sys_cfg); };
+}
+
+SystemFactory hybrid_factory(const sys::HybridSystemConfig& sys_cfg) {
+  return [&sys_cfg] {
+    return std::make_unique<sys::HybridMemorySystem>(sys_cfg);
+  };
+}
+
+RunResult run_workload_impl(const trace::Trace& trace,
+                            const SystemFactory& make_system,
+                            const std::string& label,
+                            const cpu::CpuParams& cpu_params,
+                            Cycle max_mem_cycles, LoopMode mode) {
+  RunResult r = run_workload_loop(trace, make_system, cpu_params,
+                                  max_mem_cycles, event_skip(mode));
+  if (mode == LoopMode::kAuto && paranoid_mode()) {
+    const RunResult ref = run_workload_loop(trace, make_system, cpu_params,
+                                            max_mem_cycles, /*skip=*/false);
+    const std::string diff = diff_results(ref, r);
+    if (!diff.empty()) {
+      throw_mismatch(trace.name + " / " + label, diff);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
 RunResult run_workload(const trace::Trace& trace,
                        const sys::SystemConfig& sys_cfg,
                        const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
                        LoopMode mode) {
-  RunResult r = run_workload_loop(trace, sys_cfg, cpu_params, max_mem_cycles,
-                                  event_skip(mode));
-  if (mode == LoopMode::kAuto && paranoid_mode()) {
-    const RunResult ref = run_workload_loop(trace, sys_cfg, cpu_params,
-                                            max_mem_cycles, /*skip=*/false);
-    const std::string diff = diff_results(ref, r);
-    if (!diff.empty()) {
-      throw_mismatch(trace.name + " / " + sys_cfg.name, diff);
-    }
-  }
-  return r;
+  return run_workload_impl(trace, plain_factory(sys_cfg), sys_cfg.name,
+                           cpu_params, max_mem_cycles, mode);
+}
+
+RunResult run_workload(const trace::Trace& trace,
+                       const sys::HybridSystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
+                       LoopMode mode) {
+  return run_workload_impl(trace, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
+                           cpu_params, max_mem_cycles, mode);
 }
 
 double MultiProgramResult::weighted_speedup(
@@ -569,41 +611,76 @@ double MultiProgramResult::weighted_speedup(
   return ws;
 }
 
-MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
-                                       const sys::SystemConfig& sys_cfg,
-                                       const cpu::CpuParams& cpu_params,
-                                       Cycle max_mem_cycles, LoopMode mode) {
+namespace {
+
+MultiProgramResult run_multiprogrammed_impl(
+    const std::vector<trace::Trace>& traces, const SystemFactory& make_system,
+    const std::string& label, const cpu::CpuParams& cpu_params,
+    Cycle max_mem_cycles, LoopMode mode) {
   if (traces.empty()) {
     throw std::invalid_argument("run_multiprogrammed: no traces");
   }
   MultiProgramResult r = run_multiprogrammed_loop(
-      traces, sys_cfg, cpu_params, max_mem_cycles, event_skip(mode));
+      traces, make_system, cpu_params, max_mem_cycles, event_skip(mode));
   if (mode == LoopMode::kAuto && paranoid_mode()) {
     const MultiProgramResult ref = run_multiprogrammed_loop(
-        traces, sys_cfg, cpu_params, max_mem_cycles, /*skip=*/false);
+        traces, make_system, cpu_params, max_mem_cycles, /*skip=*/false);
     const std::string diff = diff_results(ref, r);
     if (!diff.empty()) {
-      throw_mismatch("multiprogram / " + sys_cfg.name, diff);
+      throw_mismatch("multiprogram / " + label, diff);
     }
   }
   return r;
 }
 
-RunResult run_memory_only(const trace::Trace& trace,
-                          const sys::SystemConfig& sys_cfg,
-                          Cycle max_mem_cycles, LoopMode mode) {
-  RunResult r =
-      run_memory_only_loop(trace, sys_cfg, max_mem_cycles, event_skip(mode));
+RunResult run_memory_only_impl(const trace::Trace& trace,
+                               const SystemFactory& make_system,
+                               const std::string& label, Cycle max_mem_cycles,
+                               LoopMode mode) {
+  RunResult r = run_memory_only_loop(trace, make_system, max_mem_cycles,
+                                     event_skip(mode));
   if (mode == LoopMode::kAuto && paranoid_mode()) {
-    const RunResult ref = run_memory_only_loop(trace, sys_cfg, max_mem_cycles,
-                                               /*skip=*/false);
+    const RunResult ref = run_memory_only_loop(trace, make_system,
+                                               max_mem_cycles, /*skip=*/false);
     const std::string diff = diff_results(ref, r);
     if (!diff.empty()) {
-      throw_mismatch(trace.name + " / " + sys_cfg.name + " (memory-only)",
-                     diff);
+      throw_mismatch(trace.name + " / " + label + " (memory-only)", diff);
     }
   }
   return r;
+}
+
+}  // namespace
+
+MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
+                                       const sys::SystemConfig& sys_cfg,
+                                       const cpu::CpuParams& cpu_params,
+                                       Cycle max_mem_cycles, LoopMode mode) {
+  return run_multiprogrammed_impl(traces, plain_factory(sys_cfg), sys_cfg.name,
+                                  cpu_params, max_mem_cycles, mode);
+}
+
+MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
+                                       const sys::HybridSystemConfig& sys_cfg,
+                                       const cpu::CpuParams& cpu_params,
+                                       Cycle max_mem_cycles, LoopMode mode) {
+  return run_multiprogrammed_impl(traces, hybrid_factory(sys_cfg),
+                                  sys_cfg.nvm.name, cpu_params, max_mem_cycles,
+                                  mode);
+}
+
+RunResult run_memory_only(const trace::Trace& trace,
+                          const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles, LoopMode mode) {
+  return run_memory_only_impl(trace, plain_factory(sys_cfg), sys_cfg.name,
+                              max_mem_cycles, mode);
+}
+
+RunResult run_memory_only(const trace::Trace& trace,
+                          const sys::HybridSystemConfig& sys_cfg,
+                          Cycle max_mem_cycles, LoopMode mode) {
+  return run_memory_only_impl(trace, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
+                              max_mem_cycles, mode);
 }
 
 }  // namespace fgnvm::sim

@@ -11,6 +11,7 @@
 #include "cpu/rob_cpu.hpp"
 #include "nvm/energy.hpp"
 #include "obs/observer.hpp"
+#include "sys/hybrid.hpp"
 #include "sys/memory_system.hpp"
 #include "trace/trace.hpp"
 
@@ -62,11 +63,25 @@ RunResult run_workload(const trace::Trace& trace, const sys::SystemConfig& sys_c
                        Cycle max_mem_cycles = 500'000'000,
                        LoopMode mode = LoopMode::kAuto);
 
+/// Hybrid-system variant: same loops and paranoid cross-check, driving a
+/// sys::HybridMemorySystem (DESIGN.md §13) through the virtual API.
+RunResult run_workload(const trace::Trace& trace,
+                       const sys::HybridSystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params = {},
+                       Cycle max_mem_cycles = 500'000'000,
+                       LoopMode mode = LoopMode::kAuto);
+
 /// Memory-only closed-loop run: submits the trace as fast as backpressure
 /// allows. Measures achievable bandwidth and service latency without a core
 /// model. `instructions` and `ipc` are zero in the result.
 RunResult run_memory_only(const trace::Trace& trace,
                           const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles = 500'000'000,
+                          LoopMode mode = LoopMode::kAuto);
+
+/// Hybrid-system variant of run_memory_only.
+RunResult run_memory_only(const trace::Trace& trace,
+                          const sys::HybridSystemConfig& sys_cfg,
                           Cycle max_mem_cycles = 500'000'000,
                           LoopMode mode = LoopMode::kAuto);
 
@@ -96,6 +111,15 @@ struct MultiProgramResult {
 /// finish early idle while the rest complete.
 MultiProgramResult run_multiprogrammed(
     const std::vector<trace::Trace>& traces, const sys::SystemConfig& sys_cfg,
+    const cpu::CpuParams& cpu_params = {},
+    Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
+
+/// Hybrid-system variant of run_multiprogrammed. Core indices never collide
+/// with migration traffic: injected requests carry
+/// sys::HybridMemorySystem::kMigrationTag and are filtered before routing.
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::Trace>& traces,
+    const sys::HybridSystemConfig& sys_cfg,
     const cpu::CpuParams& cpu_params = {},
     Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
 

@@ -52,34 +52,57 @@ SystemConfig SystemConfig::from_config(const Config& cfg) {
   return sc;
 }
 
-MemorySystem::MemorySystem(const SystemConfig& cfg)
+namespace {
+
+/// Builds the statically-dispatched controller for one channel: each bank
+/// kind gets the ControllerT instantiation whose candidate probes inline
+/// the concrete bank type.
+std::unique_ptr<sched::ControllerBase> make_channel(
+    BankKind kind, const mem::MemGeometry& geometry,
+    const mem::TimingParams& timing, const sched::ControllerConfig& controller,
+    const nvm::AccessModes& modes) {
+  if (kind == BankKind::kDram) {
+    const auto make_bank = [&]() -> std::unique_ptr<nvm::Bank> {
+      return std::make_unique<dram::DramBank>(geometry, timing);
+    };
+    return std::make_unique<sched::ControllerT<dram::DramBank>>(
+        geometry, timing, controller, make_bank);
+  }
+  const auto make_bank = [&]() -> std::unique_ptr<nvm::Bank> {
+    return std::make_unique<nvm::FgNvmBank>(geometry, timing, modes);
+  };
+  return std::make_unique<sched::ControllerT<nvm::FgNvmBank>>(
+      geometry, timing, controller, make_bank);
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const SystemConfig& cfg) : MemorySystem(cfg, {}) {}
+
+MemorySystem::MemorySystem(const SystemConfig& cfg,
+                           const std::vector<ExtraChannel>& extra)
     : cfg_(cfg),
       decoder_(cfg.geometry, cfg.mapping),
       energy_model_(cfg.energy) {
-  // Statically-dispatched controllers: each bank kind gets the ControllerT
-  // instantiation whose candidate probes inline the concrete bank type.
   for (std::uint64_t ch = 0; ch < cfg_.geometry.channels; ++ch) {
-    if (cfg_.bank_kind == BankKind::kDram) {
-      const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
-        return std::make_unique<dram::DramBank>(cfg_.geometry, cfg_.timing);
-      };
-      channels_.push_back(std::make_unique<sched::ControllerT<dram::DramBank>>(
-          cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
-    } else {
-      const auto make_bank = [this]() -> std::unique_ptr<nvm::Bank> {
-        return std::make_unique<nvm::FgNvmBank>(cfg_.geometry, cfg_.timing,
-                                                cfg_.modes);
-      };
-      channels_.push_back(std::make_unique<sched::ControllerT<nvm::FgNvmBank>>(
-          cfg_.geometry, cfg_.timing, cfg_.controller, make_bank));
-    }
+    channels_.push_back(make_channel(cfg_.bank_kind, cfg_.geometry,
+                                     cfg_.timing, cfg_.controller,
+                                     cfg_.modes));
+  }
+  for (const ExtraChannel& ex : extra) {
+    channels_.push_back(
+        make_channel(ex.kind, ex.geometry, ex.timing, ex.controller,
+                     ex.modes));
   }
   if (cfg_.obs.enabled) {
     obs_ = std::make_shared<obs::Observer>(cfg_.obs, channels_.size());
     for (std::uint64_t ch = 0; ch < channels_.size(); ++ch) {
       // A channel can hold at most its queue capacities in open requests.
-      obs_->channel(ch)->reserve_open(cfg_.controller.read_queue_cap +
-                                      cfg_.controller.write_queue_cap);
+      const sched::ControllerConfig& cc =
+          ch < cfg_.geometry.channels
+              ? cfg_.controller
+              : extra[ch - cfg_.geometry.channels].controller;
+      obs_->channel(ch)->reserve_open(cc.read_queue_cap + cc.write_queue_cap);
       channels_[ch]->set_collector(obs_->channel(ch));
     }
   }
@@ -113,19 +136,26 @@ bool MemorySystem::can_accept(Addr addr, OpType op) const {
 
 RequestId MemorySystem::submit(Addr addr, OpType op, Cycle now,
                                std::uint64_t cpu_tag) {
+  (op == OpType::kRead ? submitted_reads_ : submitted_writes_) += 1;
+  return submit_decoded(decoder_.decode(addr), op, now, cpu_tag, now);
+}
+
+RequestId MemorySystem::submit_decoded(const mem::DecodedAddr& d, OpType op,
+                                       Cycle now, std::uint64_t cpu_tag,
+                                       Cycle arm) {
   mem::MemRequest req;
   req.id = next_id_++;
   req.op = op;
-  req.addr = decoder_.decode(addr);
+  req.addr = d;
   req.cpu_tag = cpu_tag;
-  (op == OpType::kRead ? submitted_reads_ : submitted_writes_) += 1;
   const std::uint64_t ch = req.addr.channel;
   channels_[ch]->enqueue(req, now);
-  // The channel must be visited by the tick at `now` (submission precedes
-  // the same-cycle tick in every loop), and a forwarded read completes
-  // inside enqueue — flag the drain unconditionally.
-  due_[ch] = std::min(due_[ch], now);
-  min_due_ = std::min(min_due_, now);
+  // The channel must be visited by the tick at `arm` (`now` for requests
+  // submitted before the cycle's tick; now + 1 for requests injected from
+  // inside tick, after the channel already ticked at now), and a forwarded
+  // read completes inside enqueue — flag the drain unconditionally.
+  due_[ch] = std::min(due_[ch], arm);
+  min_due_ = std::min(min_due_, arm);
   maybe_completed_[ch] = 1;
   return req.id;
 }
@@ -147,25 +177,32 @@ void MemorySystem::tick(Cycle now) {
   }
   for (auto& ch : channels_) ch->tick(now);
   if (obs_ && obs_->sample_due(now)) {
-    obs::ChannelSample cs;
-    for (const auto& ch : channels_) ch->sample_obs(now, cs);
-    obs::TimeSeriesSample s;
-    s.cycle = now;
-    s.read_q = cs.read_q;
-    s.write_q = cs.write_q;
-    s.inflight = cs.inflight;
-    s.mean_bank_q = cs.banks != 0 ? static_cast<double>(cs.read_q) /
-                                        static_cast<double>(cs.banks)
-                                  : 0.0;
-    s.max_bank_q = cs.max_bank_q;
-    s.open_acts = cs.open_acts;
-    s.busy_tiles = cs.busy_tiles;
-    s.tile_util = cs.tile_groups != 0 ? static_cast<double>(cs.busy_tiles) /
-                                            static_cast<double>(cs.tile_groups)
-                                      : 0.0;
-    obs_->record_sample(s);
+    obs_->record_sample(build_sample(now));
   }
 }
+
+obs::TimeSeriesSample MemorySystem::build_sample(Cycle now) const {
+  obs::ChannelSample cs;
+  for (const auto& ch : channels_) ch->sample_obs(now, cs);
+  obs::TimeSeriesSample s;
+  s.cycle = now;
+  s.read_q = cs.read_q;
+  s.write_q = cs.write_q;
+  s.inflight = cs.inflight;
+  s.mean_bank_q = cs.banks != 0 ? static_cast<double>(cs.read_q) /
+                                      static_cast<double>(cs.banks)
+                                : 0.0;
+  s.max_bank_q = cs.max_bank_q;
+  s.open_acts = cs.open_acts;
+  s.busy_tiles = cs.busy_tiles;
+  s.tile_util = cs.tile_groups != 0 ? static_cast<double>(cs.busy_tiles) /
+                                          static_cast<double>(cs.tile_groups)
+                                    : 0.0;
+  augment_sample(s);
+  return s;
+}
+
+void MemorySystem::finalize_obs(Cycle /*end*/) {}
 
 std::vector<mem::MemRequest> MemorySystem::take_completed() {
   std::vector<mem::MemRequest> all;

@@ -12,6 +12,11 @@
 // horizon, optionally in parallel (run_threads config key / the
 // FGNVM_RUN_THREADS environment variable), with results byte-identical at
 // any thread count.
+//
+// The driver-facing methods are virtual so HybridMemorySystem (DESIGN.md
+// §13) can interpose routing and its migration engine behind the same API;
+// the cost is one virtual call per loop-level operation, the per-candidate
+// hot paths below stay statically dispatched.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +66,9 @@ struct SystemConfig {
 class MemorySystem {
  public:
   explicit MemorySystem(const SystemConfig& cfg);
+  virtual ~MemorySystem() = default;
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
 
   const SystemConfig& config() const { return cfg_; }
   const mem::AddressDecoder& decoder() const { return decoder_; }
@@ -69,14 +77,15 @@ class MemorySystem {
   unsigned run_threads() const { return pool_ ? pool_->threads() : 1; }
 
   /// Backpressure check for the channel that `addr` maps to.
-  bool can_accept(Addr addr, OpType op) const;
+  virtual bool can_accept(Addr addr, OpType op) const;
 
   /// Submits a request; returns its id. Precondition: can_accept().
-  RequestId submit(Addr addr, OpType op, Cycle now, std::uint64_t cpu_tag = 0);
+  virtual RequestId submit(Addr addr, OpType op, Cycle now,
+                           std::uint64_t cpu_tag = 0);
 
   /// Advances the system one memory cycle: with lazy scheduling, only the
   /// channels whose cached due cycle has arrived; otherwise all channels.
-  void tick(Cycle now);
+  virtual void tick(Cycle now);
 
   /// Completed read requests (and forwarded reads) since the last call.
   std::vector<mem::MemRequest> take_completed();
@@ -84,13 +93,13 @@ class MemorySystem {
   /// Allocation-free variant: clears `out`, then fills it with the completed
   /// requests since the last call (always in channel order). The simulation
   /// loops reuse one buffer.
-  void drain_completed(std::vector<mem::MemRequest>& out);
+  virtual void drain_completed(std::vector<mem::MemRequest>& out);
 
   /// Earliest cycle > now at which any channel's tick() could change state,
   /// absent new arrivals; kNeverCycle when fully idle. Never overshoots an
   /// actionable cycle (see Controller::next_event). O(1) under lazy
   /// scheduling (reads the cached minimum).
-  Cycle next_event(Cycle now) const;
+  virtual Cycle next_event(Cycle now) const;
 
   /// True when the per-channel due caches drive tick/next_event/drain. Off
   /// with an observer attached or after set_eager_ticking(true); the
@@ -105,12 +114,12 @@ class MemorySystem {
   /// Lower bound over all channels on the first cycle > now a completion
   /// could be handed to the caller (see Controller::completion_bound);
   /// kNeverCycle when no queued or in-flight read exists anywhere.
-  Cycle completion_bound(Cycle now) const;
+  virtual Cycle completion_bound(Cycle now) const;
 
   /// Cached due cycle of the channel `addr` maps to — the earliest cycle at
   /// which that channel's state (in particular its can_accept answer) could
   /// change. Requires lazy_scheduling().
-  Cycle accept_event(Addr addr) const;
+  virtual Cycle accept_event(Addr addr) const;
 
   /// Runs every channel with due < horizon along its own event chain up to
   /// the horizon (Controller::advance_to), in parallel when a run-thread
@@ -129,18 +138,25 @@ class MemorySystem {
   /// if the chain dies). Other channels are NOT advanced — follow up with
   /// advance_channels_to(min(resume, limit)) before resuming the loop.
   /// Requires lazy_scheduling().
-  Cycle advance_until_accept(Addr addr, OpType op, Cycle limit);
+  virtual Cycle advance_until_accept(Addr addr, OpType op, Cycle limit);
 
-  bool idle() const;
+  virtual bool idle() const;
 
   /// Section-6 energy accounting over `elapsed` memory cycles.
-  nvm::EnergyBreakdown energy(Cycle elapsed) const;
+  virtual nvm::EnergyBreakdown energy(Cycle elapsed) const;
 
   /// Aggregated bank activity across the whole system.
   nvm::BankStats bank_totals() const;
 
   /// Merged controller stats (counters summed across channels).
-  StatSet controller_stats() const;
+  virtual StatSet controller_stats() const;
+
+  /// End-of-run observability hook: the runner calls it once with the final
+  /// cycle before detaching the observer. The base system does nothing (the
+  /// epoch sampler already covered the run); HybridMemorySystem records one
+  /// trailing sample so the migration/DRAM-hit channels reconcile exactly
+  /// with the final counters.
+  virtual void finalize_obs(Cycle end);
 
   std::uint64_t submitted_reads() const { return submitted_reads_; }
   std::uint64_t submitted_writes() const { return submitted_writes_; }
@@ -151,7 +167,42 @@ class MemorySystem {
   obs::Observer* observer() { return obs_.get(); }
   std::shared_ptr<const obs::Observer> observer_ptr() const { return obs_; }
 
- private:
+ protected:
+  /// One heterogeneous channel appended after the cfg.geometry.channels
+  /// primary channels. HybridMemorySystem uses this for its DRAM partition:
+  /// the extra channel plugs into the same due/drain/advance machinery (the
+  /// observer, due caches and thread pool are sized to the full channel
+  /// count at construction), but carries its own single-channel geometry,
+  /// timing and controller configuration.
+  struct ExtraChannel {
+    BankKind kind = BankKind::kDram;
+    mem::MemGeometry geometry;  // channels field ignored (always 1 channel)
+    mem::TimingParams timing;
+    sched::ControllerConfig controller;
+    nvm::AccessModes modes;  // used by kFgNvm extra channels only
+  };
+  MemorySystem(const SystemConfig& cfg,
+               const std::vector<ExtraChannel>& extra);
+
+  /// Shared enqueue path: routes an already-decoded request to
+  /// `d.channel`, arming that channel's due cache so the tick at
+  /// `arm` (>= now) visits it. Does NOT bump the submitted_reads_/writes_
+  /// demand counters — the public submit() does, the hybrid migration
+  /// engine deliberately does not. `arm` is `now` for requests injected
+  /// before the cycle's tick and `now + 1` for requests injected from
+  /// inside tick() (the channel already ticked at `now`; eager mode would
+  /// first see the request at now + 1).
+  RequestId submit_decoded(const mem::DecodedAddr& d, OpType op, Cycle now,
+                           std::uint64_t cpu_tag, Cycle arm);
+
+  /// Fills one epoch sample from the current channel state (the eager tick
+  /// calls this when a sample is due, finalize_obs overrides may reuse it).
+  obs::TimeSeriesSample build_sample(Cycle now) const;
+
+  /// Subclass hook: extends an epoch sample with system-specific channels
+  /// (hybrid migration count / DRAM hit rate). Called from build_sample.
+  virtual void augment_sample(obs::TimeSeriesSample& /*s*/) const {}
+
   void update_lazy() { lazy_ = !eager_ && obs_ == nullptr; }
   void recompute_min_due() {
     Cycle m = kNeverCycle;

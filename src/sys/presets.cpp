@@ -94,6 +94,18 @@ SystemConfig technology_config(nvm::Technology tech, std::uint64_t sags,
   return sc;
 }
 
+HybridSystemConfig hybrid_config(std::uint64_t sags, std::uint64_t cds,
+                                 std::uint64_t dram_banks,
+                                 std::uint64_t dram_rows) {
+  HybridSystemConfig hc;
+  hc.nvm = fgnvm_config(sags, cds);
+  hc.nvm.name = "hybrid_" + std::to_string(sags) + "x" + std::to_string(cds);
+  hc.hybrid.dram_banks = dram_banks;
+  hc.hybrid.dram_rows = dram_rows;
+  hc.hybrid.validate();
+  return hc;
+}
+
 SystemConfig perfect_config() {
   SystemConfig sc = fgnvm_config(8, 16, /*multi_issue=*/true);
   sc.name = "perfect";

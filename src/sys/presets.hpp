@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "nvm/technology.hpp"
+#include "sys/hybrid.hpp"
 #include "sys/memory_system.hpp"
 
 namespace fgnvm::sys {
@@ -47,5 +48,12 @@ SystemConfig dram_config(std::uint64_t subarrays = 1);
 /// a specific NVM technology's timing/energy profile.
 SystemConfig technology_config(nvm::Technology tech, std::uint64_t sags,
                                std::uint64_t cds);
+
+/// RBLA hybrid (DESIGN.md §13): the `sags` x `cds` FgNVM backend plus a
+/// DDR3 DRAM partition of `dram_banks` x `dram_rows` row slots in front of
+/// it. Name "hybrid_NxM".
+HybridSystemConfig hybrid_config(std::uint64_t sags, std::uint64_t cds,
+                                 std::uint64_t dram_banks = 8,
+                                 std::uint64_t dram_rows = 64);
 
 }  // namespace fgnvm::sys

@@ -75,6 +75,8 @@ TimeSeriesSample sample(Cycle cycle) {
   s.open_acts = 5;
   s.busy_tiles = 6;
   s.tile_util = 6.0 / 32.0;
+  s.migrations = 9;
+  s.dram_hit_rate = 2.0 / 3.0;
   return s;
 }
 
