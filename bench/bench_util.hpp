@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "sim/runner.hpp"
-#include "sim/sweep.hpp"
+#include "common/sweep.hpp"
 #include "sys/memory_system.hpp"
 #include "trace/generator.hpp"
 #include "trace/spec_profiles.hpp"

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "mem/geometry.hpp"
@@ -11,6 +12,8 @@
 #include "sim/runner.hpp"
 #include "sys/memory_system.hpp"
 #include "sys/presets.hpp"
+#include "tile/spsc_ring.hpp"
+#include "tile/topology.hpp"
 #include "trace/generator.hpp"
 #include "trace/spec_profiles.hpp"
 
@@ -326,6 +329,68 @@ void BM_EndToEndSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);  // memory ops / s
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SpscRing(benchmark::State& state) {
+  // Same-thread push/pop pair: the steady-state cost of one ring handoff
+  // (one relaxed load, one slot copy, one release store per side).
+  tile::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(v));
+    benchmark::DoNotOptimize(ring.try_pop(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRing);
+
+void BM_SpscRingThreaded(benchmark::State& state) {
+  // Cross-thread handoff throughput, cache lines actually pinging.
+  for (auto _ : state) {
+    constexpr std::uint64_t kItems = 100'000;
+    tile::SpscRing<std::uint64_t> ring(1024);
+    std::thread consumer([&ring] {
+      std::uint64_t got = 0, v = 0;
+      while (got < kItems) {
+        if (ring.try_pop(v)) {
+          ++got;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+    consumer.join();
+    state.SetItemsProcessed(state.items_processed() + kItems);
+  }
+}
+BENCHMARK(BM_SpscRingThreaded)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedAdvance(benchmark::State& state) {
+  // Full sharded replay: trace -> rings -> per-channel-clock shards ->
+  // channel-order merge. Arg0 = shard count, Arg1 = worker threads (0 =
+  // inline serial reference).
+  const trace::Trace tr =
+      trace::generate_trace(trace::spec2006_profile("milc"), 4000);
+  sys::SystemConfig cfg = sys::fgnvm_config(4, 4);
+  cfg.geometry.channels = 4;
+  cfg.geometry.validate();
+  tile::TopologyConfig tcfg;
+  tcfg.shards = static_cast<std::uint64_t>(state.range(0));
+  tcfg.worker_threads = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile::run_sharded(tr, cfg, tcfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);  // memory ops / s
+}
+BENCHMARK(BM_ShardedAdvance)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

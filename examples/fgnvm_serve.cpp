@@ -1,0 +1,421 @@
+// fgnvm_serve: a streaming request front end over a live simulated FgNVM
+// system (DESIGN.md §14).
+//
+// The server owns a tile::Topology (shard-per-thread tile runtime) and
+// accepts one client connection at a time on a Unix or TCP socket. Clients
+// stream length-prefixed binary request frames (see src/tile/frame.hpp);
+// the server routes each request into the live simulation and streams read
+// completions back as they retire. Writes are posted: they are acked at
+// submission, matching the simulated controller's posted-write semantics.
+//
+// Usage:
+//   fgnvm_serve --unix /tmp/fgnvm.sock [--preset fgnvm] [--shards 2]
+//   fgnvm_serve --tcp 9321 --preset baseline --serial
+//   fgnvm_serve --selftest [--shards 2]
+//
+// --selftest runs server and client in-process over a socketpair, replays a
+// synthetic trace through the socket, and cross-checks the final simulated
+// state against tile::run_sharded's serial reference — exercising the whole
+// frame -> ring -> shard -> merge path end to end.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "tile/frame.hpp"
+#include "tile/topology.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace fgnvm;
+
+struct Options {
+  std::string unix_path;
+  int tcp_port = -1;
+  std::string preset = "fgnvm";
+  std::uint64_t sags = 8;
+  std::uint64_t cds = 32;
+  std::uint64_t channels = 4;
+  std::uint64_t shards = 2;
+  bool serial = false;
+  bool selftest = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --unix PATH     listen on a Unix domain socket\n"
+      << "  --tcp PORT      listen on 127.0.0.1:PORT\n"
+      << "  --preset NAME   baseline | fgnvm | many_banks | perfect\n"
+      << "  --sags N        FgNVM subarray groups per bank (default 8)\n"
+      << "  --cds N         FgNVM column divisions per bank (default 32)\n"
+      << "  --channels N    memory channels (default 4; shards are capped\n"
+      << "                  by the channel count)\n"
+      << "  --shards N      worker shards (default 2)\n"
+      << "  --serial        run shards inline (no worker threads)\n"
+      << "  --selftest      in-process end-to-end check, then exit\n";
+  std::exit(2);
+}
+
+sys::SystemConfig build_config(const Options& opt) {
+  sys::SystemConfig cfg;
+  if (opt.preset == "baseline") {
+    cfg = sys::baseline_config();
+  } else if (opt.preset == "fgnvm") {
+    cfg = sys::fgnvm_config(opt.sags, opt.cds);
+  } else if (opt.preset == "many_banks") {
+    cfg = sys::many_banks_config(opt.sags, opt.cds);
+  } else if (opt.preset == "perfect") {
+    cfg = sys::perfect_config();
+  } else {
+    std::cerr << "fgnvm_serve: unknown preset '" << opt.preset << "'\n";
+    std::exit(2);
+  }
+  cfg.geometry.channels = opt.channels;
+  cfg.geometry.validate();
+  return cfg;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--unix") {
+      opt.unix_path = need(i);
+    } else if (a == "--tcp") {
+      opt.tcp_port = std::atoi(need(i));
+    } else if (a == "--preset") {
+      opt.preset = need(i);
+    } else if (a == "--sags") {
+      opt.sags = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--cds") {
+      opt.cds = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--channels") {
+      opt.channels = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--shards") {
+      opt.shards = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--serial") {
+      opt.serial = true;
+    } else if (a == "--selftest") {
+      opt.selftest = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!opt.selftest && opt.unix_path.empty() && opt.tcp_port < 0) {
+    usage(argv[0]);
+  }
+  return opt;
+}
+
+bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Serves one connection until kQuit or EOF. Returns the read completions
+/// streamed back (selftest bookkeeping).
+std::uint64_t handle_connection(int fd, tile::Topology& topo) {
+  tile::FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> outbuf;
+  std::vector<tile::Completion> comps;
+  std::uint64_t completions_sent = 0;
+  std::uint8_t rbuf[4096];
+  bool open = true;
+
+  const auto pump_completions = [&] {
+    comps.clear();
+    topo.poll_completions(comps);
+    for (const tile::Completion& c : comps) {
+      tile::Response resp;
+      resp.kind = tile::RespFrame::kReadDone;
+      resp.tag = c.tag;
+      resp.id = c.id;
+      resp.submitted = c.submitted;
+      resp.completed = c.completed;
+      resp.channel = c.channel;
+      tile::encode_response(resp, outbuf);
+      ++completions_sent;
+    }
+  };
+
+  while (open) {
+    pollfd pfd{fd, POLLIN, 0};
+    // Short poll timeout: completions retire as the simulation advances
+    // inside submit/flush, so between reads we only need to keep the
+    // outbound stream moving.
+    const int pr = ::poll(&pfd, 1, 10);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      const ssize_t n = ::read(fd, rbuf, sizeof(rbuf));
+      if (n == 0) break;  // EOF
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      reader.feed(rbuf, static_cast<std::size_t>(n));
+      while (open && reader.next(payload)) {
+        const auto req = tile::decode_request(payload.data(), payload.size());
+        tile::Response resp;
+        if (!req) {
+          resp.kind = tile::RespFrame::kError;
+          resp.error = "malformed request frame";
+          tile::encode_response(resp, outbuf);
+          continue;
+        }
+        switch (req->kind) {
+          case tile::ReqFrame::kRead:
+            topo.submit(req->addr, OpType::kRead, req->tag, req->not_before);
+            break;
+          case tile::ReqFrame::kWrite: {
+            const RequestId id = topo.submit(req->addr, OpType::kWrite,
+                                             req->tag, req->not_before);
+            resp.kind = tile::RespFrame::kWriteAck;
+            resp.tag = req->tag;
+            resp.id = id;
+            tile::encode_response(resp, outbuf);
+            break;
+          }
+          case tile::ReqFrame::kFlush:
+            topo.flush();
+            pump_completions();  // everything retired before the ack
+            resp.kind = tile::RespFrame::kFlushDone;
+            resp.tag = req->tag;
+            resp.mem_cycles = topo.drained_cycles();
+            tile::encode_response(resp, outbuf);
+            break;
+          case tile::ReqFrame::kQuit:
+            open = false;
+            break;
+        }
+      }
+    }
+    pump_completions();
+    if (!outbuf.empty()) {
+      if (!write_all(fd, outbuf)) break;
+      outbuf.clear();
+    }
+  }
+  return completions_sent;
+}
+
+int listen_socket(const Options& opt) {
+  int fd = -1;
+  if (!opt.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (opt.unix_path.size() >= sizeof(sa.sun_path)) {
+      std::cerr << "fgnvm_serve: socket path too long\n";
+      return -1;
+    }
+    std::strncpy(sa.sun_path, opt.unix_path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(opt.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      std::cerr << "fgnvm_serve: bind(" << opt.unix_path
+                << "): " << std::strerror(errno) << "\n";
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(opt.tcp_port));
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      std::cerr << "fgnvm_serve: bind(127.0.0.1:" << opt.tcp_port
+                << "): " << std::strerror(errno) << "\n";
+      return -1;
+    }
+  }
+  if (::listen(fd, 1) < 0) return -1;
+  return fd;
+}
+
+int run_server(const Options& opt) {
+  const sys::SystemConfig cfg = build_config(opt);
+  tile::TopologyConfig tcfg;
+  tcfg.shards = opt.shards;
+  tcfg.worker_threads = !opt.serial;
+  tile::Topology topo(cfg, tcfg);
+  topo.start();
+
+  const int lfd = listen_socket(opt);
+  if (lfd < 0) return 1;
+  std::cerr << "fgnvm_serve: " << cfg.name << ", " << topo.shards()
+            << " shard(s) over " << topo.channels() << " channels, "
+            << (topo.threaded() ? "threaded" : "serial") << "\n";
+  for (;;) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::cerr << "fgnvm_serve: client connected\n";
+    handle_connection(cfd, topo);
+    ::close(cfd);
+    std::cerr << "fgnvm_serve: client disconnected ("
+              << topo.submitted_reads() << " reads, "
+              << topo.submitted_writes() << " writes so far)\n";
+  }
+  ::close(lfd);
+  return 0;
+}
+
+int run_selftest(const Options& opt) {
+  const sys::SystemConfig cfg = build_config(opt);
+  trace::WorkloadProfile profile;
+  profile.name = "serve_selftest";
+  profile.write_fraction = 0.3;
+  profile.seed = 11;
+  const trace::Trace tr = trace::generate_trace(profile, 2000);
+
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::cerr << "selftest: socketpair failed\n";
+    return 1;
+  }
+
+  tile::TopologyConfig tcfg;
+  tcfg.shards = opt.shards;
+  tcfg.worker_threads = !opt.serial;
+  tile::Topology topo(cfg, tcfg);
+  topo.start();
+  std::thread server([&] { handle_connection(sv[0], topo); });
+
+  // Client: stream the trace, flush, count responses, quit.
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < tr.records.size(); ++i) {
+    tile::Request req;
+    req.kind = tr.records[i].op == OpType::kRead ? tile::ReqFrame::kRead
+                                                 : tile::ReqFrame::kWrite;
+    req.addr = tr.records[i].addr;
+    req.tag = i;
+    tile::encode_request(req, out);
+  }
+  tile::Request flush;
+  flush.kind = tile::ReqFrame::kFlush;
+  flush.tag = 0xf1u;
+  tile::encode_request(flush, out);
+  if (!write_all(sv[1], out)) {
+    std::cerr << "selftest: short write\n";
+    return 1;
+  }
+
+  tile::FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t read_done = 0, write_acks = 0;
+  std::uint64_t flush_cycles = 0;
+  bool flushed = false;
+  std::uint8_t rbuf[4096];
+  while (!flushed) {
+    const ssize_t n = ::read(sv[1], rbuf, sizeof(rbuf));
+    if (n <= 0) {
+      std::cerr << "selftest: connection died before flush ack\n";
+      return 1;
+    }
+    reader.feed(rbuf, static_cast<std::size_t>(n));
+    while (reader.next(payload)) {
+      const auto resp = tile::decode_response(payload.data(), payload.size());
+      if (!resp) {
+        std::cerr << "selftest: malformed response\n";
+        return 1;
+      }
+      if (resp->kind == tile::RespFrame::kReadDone) ++read_done;
+      if (resp->kind == tile::RespFrame::kWriteAck) ++write_acks;
+      if (resp->kind == tile::RespFrame::kFlushDone) {
+        flush_cycles = resp->mem_cycles;
+        flushed = true;
+      }
+    }
+  }
+  out.clear();
+  tile::Request quit;
+  quit.kind = tile::ReqFrame::kQuit;
+  tile::encode_request(quit, out);
+  write_all(sv[1], out);
+  server.join();
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  const sim::RunResult served = topo.finish(tr.name);
+
+  // Reference: the same stream through the serial inline topology.
+  tile::TopologyConfig ref_cfg;
+  ref_cfg.shards = 1;
+  ref_cfg.worker_threads = false;
+  const tile::ShardedRunResult ref = tile::run_sharded(tr, cfg, ref_cfg);
+
+  std::uint64_t want_reads = 0;
+  for (const auto& r : tr.records) want_reads += r.op == OpType::kRead;
+  bool ok = true;
+  if (read_done != want_reads) {
+    std::cerr << "selftest: " << read_done << " read completions, expected "
+              << want_reads << "\n";
+    ok = false;
+  }
+  if (write_acks != tr.records.size() - want_reads) {
+    std::cerr << "selftest: " << write_acks << " write acks, expected "
+              << tr.records.size() - want_reads << "\n";
+    ok = false;
+  }
+  if (flush_cycles != served.mem_cycles) {
+    std::cerr << "selftest: flush reported " << flush_cycles
+              << " cycles, finish reported " << served.mem_cycles << "\n";
+    ok = false;
+  }
+  const std::string diff = sim::diff_results(served, ref.run);
+  if (!diff.empty()) {
+    std::cerr << "selftest: served run diverged from serial reference: "
+              << diff << "\n";
+    ok = false;
+  }
+  std::cerr << "selftest: " << tr.records.size() << " requests, "
+            << read_done << " completions, " << served.mem_cycles
+            << " mem cycles, " << topo.shards() << " shard(s): "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const Options opt = parse_args(argc, argv);
+  try {
+    return opt.selftest ? run_selftest(opt) : run_server(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "fgnvm_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -3,7 +3,24 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/log.hpp"
+
 namespace fgnvm::sim {
+
+std::uint64_t clamp_thread_count(std::uint64_t requested, const char* what) {
+  if (requested == 0) {
+    log_warn(what, "=0 is invalid; falling back to 1 thread");
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::uint64_t ceiling = 4ULL * (hw > 0 ? hw : 1);
+  if (requested > ceiling) {
+    log_warn(what, "=", requested, " exceeds 4x hardware_concurrency; ",
+             "clamping to ", ceiling);
+    return ceiling;
+  }
+  return requested;
+}
 
 unsigned sweep_thread_count(unsigned requested) {
   if (requested > 0) return requested;

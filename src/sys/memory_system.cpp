@@ -3,26 +3,28 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/log.hpp"
 #include "dram/dram_bank.hpp"
 #include "nvm/fgnvm_bank.hpp"
 
 namespace fgnvm::sys {
 
-namespace {
-
-/// run_threads with the FGNVM_RUN_THREADS environment override applied.
 std::uint64_t effective_run_threads(std::uint64_t configured) {
+  std::uint64_t v = configured;
+  const char* what = "run_threads";
   if (const char* env = std::getenv("FGNVM_RUN_THREADS")) {
     char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<std::uint64_t>(v);
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed <= 0) {
+      log_warn("FGNVM_RUN_THREADS='", env,
+               "' is not a positive integer; using run_threads=", configured);
+    } else {
+      v = static_cast<std::uint64_t>(parsed);
+      what = "FGNVM_RUN_THREADS";
     }
   }
-  return configured;
+  return sim::clamp_thread_count(v, what);
 }
-
-}  // namespace
 
 SystemConfig SystemConfig::from_config(const Config& cfg) {
   SystemConfig sc;
@@ -52,12 +54,7 @@ SystemConfig SystemConfig::from_config(const Config& cfg) {
   return sc;
 }
 
-namespace {
-
-/// Builds the statically-dispatched controller for one channel: each bank
-/// kind gets the ControllerT instantiation whose candidate probes inline
-/// the concrete bank type.
-std::unique_ptr<sched::ControllerBase> make_channel(
+std::unique_ptr<sched::ControllerBase> make_channel_controller(
     BankKind kind, const mem::MemGeometry& geometry,
     const mem::TimingParams& timing, const sched::ControllerConfig& controller,
     const nvm::AccessModes& modes) {
@@ -75,8 +72,6 @@ std::unique_ptr<sched::ControllerBase> make_channel(
       geometry, timing, controller, make_bank);
 }
 
-}  // namespace
-
 MemorySystem::MemorySystem(const SystemConfig& cfg) : MemorySystem(cfg, {}) {}
 
 MemorySystem::MemorySystem(const SystemConfig& cfg,
@@ -85,14 +80,14 @@ MemorySystem::MemorySystem(const SystemConfig& cfg,
       decoder_(cfg.geometry, cfg.mapping),
       energy_model_(cfg.energy) {
   for (std::uint64_t ch = 0; ch < cfg_.geometry.channels; ++ch) {
-    channels_.push_back(make_channel(cfg_.bank_kind, cfg_.geometry,
-                                     cfg_.timing, cfg_.controller,
-                                     cfg_.modes));
+    channels_.push_back(make_channel_controller(cfg_.bank_kind, cfg_.geometry,
+                                                cfg_.timing, cfg_.controller,
+                                                cfg_.modes));
   }
   for (const ExtraChannel& ex : extra) {
     channels_.push_back(
-        make_channel(ex.kind, ex.geometry, ex.timing, ex.controller,
-                     ex.modes));
+        make_channel_controller(ex.kind, ex.geometry, ex.timing, ex.controller,
+                                ex.modes));
   }
   if (cfg_.obs.enabled) {
     obs_ = std::make_shared<obs::Observer>(cfg_.obs, channels_.size());

@@ -63,6 +63,23 @@ struct SystemConfig {
   static SystemConfig from_config(const Config& cfg);
 };
 
+/// Builds the statically-dispatched controller for one channel: each bank
+/// kind gets the ControllerT instantiation whose candidate probes inline the
+/// concrete bank type. This is the exact construction MemorySystem performs
+/// per channel; exposed so the tile runtime (src/tile/) can own channels
+/// directly, with behavior identical to a MemorySystem-owned channel.
+std::unique_ptr<sched::ControllerBase> make_channel_controller(
+    BankKind kind, const mem::MemGeometry& geometry,
+    const mem::TimingParams& timing, const sched::ControllerConfig& controller,
+    const nvm::AccessModes& modes);
+
+/// `configured` (the run_threads config key) with the FGNVM_RUN_THREADS
+/// environment override applied, validated via sim::clamp_thread_count:
+/// non-numeric or non-positive env values warn and fall back to the
+/// configured value; 0 and values above 4x hardware_concurrency warn and
+/// clamp. Exposed for the tile runtime's shard count and for tests.
+std::uint64_t effective_run_threads(std::uint64_t configured);
+
 class MemorySystem {
  public:
   explicit MemorySystem(const SystemConfig& cfg);

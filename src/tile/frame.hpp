@@ -1,0 +1,276 @@
+// Wire protocol for the fgnvm_serve request front end.
+//
+// Frames are length-prefixed binary: a 4-byte little-endian payload length,
+// then the payload, whose first byte is the frame type. All multi-byte
+// integers are little-endian, encoded bytewise (host-endianness agnostic).
+//
+// Client -> server (requests):
+//   'R' addr:u64 tag:u64 not_before:u64   read at addr
+//   'W' addr:u64 tag:u64 not_before:u64   write at addr (posted)
+//   'F' tag:u64                           flush: drain all channels
+//   'Q'                                   quit: close the connection
+//
+// Server -> client (responses):
+//   'A' tag id                             write accepted (posted ack)
+//   'C' tag id submitted completed channel read completion (cycles are the
+//                                          target channel's own clock;
+//                                          channel:u32 names it)
+//   'D' tag mem_cycles:u64                 flush done; mem_cycles is the
+//                                          max per-channel end cycle so far
+//   'E' tag errlen:u32 msg[errlen]         request rejected
+//
+// The codec is header-only and socket-free so it unit-tests without I/O:
+// encode_* append one complete frame to a byte vector; FrameReader
+// incrementally splits a byte stream back into payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fgnvm::tile {
+
+enum class ReqFrame : std::uint8_t {
+  kRead = 'R',
+  kWrite = 'W',
+  kFlush = 'F',
+  kQuit = 'Q',
+};
+
+enum class RespFrame : std::uint8_t {
+  kWriteAck = 'A',
+  kReadDone = 'C',
+  kFlushDone = 'D',
+  kError = 'E',
+};
+
+/// Decoded client request.
+struct Request {
+  ReqFrame kind = ReqFrame::kRead;
+  Addr addr = 0;
+  std::uint64_t tag = 0;
+  Cycle not_before = 0;
+};
+
+/// Decoded server response.
+struct Response {
+  RespFrame kind = RespFrame::kWriteAck;
+  std::uint64_t tag = 0;
+  RequestId id = 0;
+  Cycle submitted = 0;
+  Cycle completed = 0;
+  std::uint32_t channel = 0;
+  std::uint64_t mem_cycles = 0;
+  std::string error;
+};
+
+namespace wire {
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-unchecked reads; callers verify payload sizes first.
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Patches the length prefix after the payload has been appended.
+inline std::size_t begin_frame(std::vector<std::uint8_t>& out) {
+  const std::size_t at = out.size();
+  put_u32(out, 0);
+  return at;
+}
+
+inline void end_frame(std::vector<std::uint8_t>& out, std::size_t at) {
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - at - 4);
+  out[at] = static_cast<std::uint8_t>(len);
+  out[at + 1] = static_cast<std::uint8_t>(len >> 8);
+  out[at + 2] = static_cast<std::uint8_t>(len >> 16);
+  out[at + 3] = static_cast<std::uint8_t>(len >> 24);
+}
+
+}  // namespace wire
+
+inline void encode_request(const Request& r, std::vector<std::uint8_t>& out) {
+  const std::size_t at = wire::begin_frame(out);
+  out.push_back(static_cast<std::uint8_t>(r.kind));
+  switch (r.kind) {
+    case ReqFrame::kRead:
+    case ReqFrame::kWrite:
+      wire::put_u64(out, r.addr);
+      wire::put_u64(out, r.tag);
+      wire::put_u64(out, r.not_before);
+      break;
+    case ReqFrame::kFlush:
+      wire::put_u64(out, r.tag);
+      break;
+    case ReqFrame::kQuit:
+      break;
+  }
+  wire::end_frame(out, at);
+}
+
+inline void encode_response(const Response& r,
+                            std::vector<std::uint8_t>& out) {
+  const std::size_t at = wire::begin_frame(out);
+  out.push_back(static_cast<std::uint8_t>(r.kind));
+  switch (r.kind) {
+    case RespFrame::kWriteAck:
+      wire::put_u64(out, r.tag);
+      wire::put_u64(out, r.id);
+      break;
+    case RespFrame::kReadDone:
+      wire::put_u64(out, r.tag);
+      wire::put_u64(out, r.id);
+      wire::put_u64(out, r.submitted);
+      wire::put_u64(out, r.completed);
+      wire::put_u32(out, r.channel);
+      break;
+    case RespFrame::kFlushDone:
+      wire::put_u64(out, r.tag);
+      wire::put_u64(out, r.mem_cycles);
+      break;
+    case RespFrame::kError:
+      wire::put_u64(out, r.tag);
+      wire::put_u32(out, static_cast<std::uint32_t>(r.error.size()));
+      out.insert(out.end(), r.error.begin(), r.error.end());
+      break;
+  }
+  wire::end_frame(out, at);
+}
+
+/// Decodes one complete payload (no length prefix). nullopt = malformed.
+inline std::optional<Request> decode_request(const std::uint8_t* p,
+                                             std::size_t n) {
+  if (n < 1) return std::nullopt;
+  Request r;
+  r.kind = static_cast<ReqFrame>(p[0]);
+  switch (r.kind) {
+    case ReqFrame::kRead:
+    case ReqFrame::kWrite:
+      if (n != 1 + 24) return std::nullopt;
+      r.addr = wire::get_u64(p + 1);
+      r.tag = wire::get_u64(p + 9);
+      r.not_before = wire::get_u64(p + 17);
+      return r;
+    case ReqFrame::kFlush:
+      if (n != 1 + 8) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      return r;
+    case ReqFrame::kQuit:
+      if (n != 1) return std::nullopt;
+      return r;
+  }
+  return std::nullopt;
+}
+
+inline std::optional<Response> decode_response(const std::uint8_t* p,
+                                               std::size_t n) {
+  if (n < 1) return std::nullopt;
+  Response r;
+  r.kind = static_cast<RespFrame>(p[0]);
+  switch (r.kind) {
+    case RespFrame::kWriteAck:
+      if (n != 1 + 16) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      r.id = wire::get_u64(p + 9);
+      return r;
+    case RespFrame::kReadDone:
+      if (n != 1 + 36) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      r.id = wire::get_u64(p + 9);
+      r.submitted = wire::get_u64(p + 17);
+      r.completed = wire::get_u64(p + 25);
+      r.channel = wire::get_u32(p + 33);
+      return r;
+    case RespFrame::kFlushDone:
+      if (n != 1 + 16) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      r.mem_cycles = wire::get_u64(p + 9);
+      return r;
+    case RespFrame::kError: {
+      if (n < 1 + 12) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      const std::uint32_t len = wire::get_u32(p + 9);
+      if (n != 1 + 12 + static_cast<std::size_t>(len)) return std::nullopt;
+      r.error.assign(reinterpret_cast<const char*>(p + 13), len);
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Incremental frame splitter: feed() raw stream bytes, next() yields each
+/// complete payload. Frames above `max_frame` bytes are rejected (a
+/// malformed or hostile length prefix must not balloon the buffer).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = 1 << 20)
+      : max_frame_(max_frame) {}
+
+  void feed(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// True when a complete frame was extracted into `payload`. Throws
+  /// std::runtime_error on an oversized length prefix.
+  bool next(std::vector<std::uint8_t>& payload) {
+    if (buf_.size() - pos_ < 4) {
+      compact();
+      return false;
+    }
+    const std::uint32_t len = wire::get_u32(buf_.data() + pos_);
+    if (len > max_frame_) {
+      throw std::runtime_error("FrameReader: oversized frame (" +
+                               std::to_string(len) + " bytes)");
+    }
+    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) {
+      compact();
+      return false;
+    }
+    payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                   buf_.begin() +
+                       static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+    pos_ += 4 + len;
+    return true;
+  }
+
+ private:
+  /// Drops consumed bytes once nothing unconsumed remains (amortized O(1)).
+  void compact() {
+    if (pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+  }
+
+  const std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fgnvm::tile

@@ -1,0 +1,115 @@
+// Fixed-capacity, cache-line-aligned single-producer/single-consumer ring.
+//
+// The handoff idiom follows the firedancer mcache/fseq pattern (DESIGN.md
+// §14): the producer publishes a monotonically increasing sequence number
+// (`published`) after writing each slot, and the consumer publishes its own
+// progress counter (`consumed`, the fseq) after reading each slot. Sequence
+// numbers never wrap within a run (64-bit) and index the storage modulo the
+// power-of-two capacity, so `published - consumed` is always the exact
+// occupancy. Flow control is entirely consumer-progress based: the producer
+// refuses to overwrite a slot whose previous occupant the consumer has not
+// yet acknowledged through the fseq.
+//
+// No locks, no allocation after construction. Each side keeps a cached copy
+// of the other side's counter and reloads it (acquire) only when the cached
+// value would block, so the steady state costs one relaxed load, one slot
+// copy, and one release store per operation — the shared cache lines ping
+// only near empty/full.
+//
+// Memory-ordering contract (the TSan-checked core of the tile runtime):
+//  * try_push: `seq_.store(n+1, release)` after the slot write publishes the
+//    slot; the consumer's `seq_.load(acquire)` synchronizes-with it, so the
+//    consumer's slot read happens-after the producer's write.
+//  * try_pop: `fseq_.store(n+1, release)` after the slot read releases the
+//    slot; the producer's `fseq_.load(acquire)` synchronizes-with it, so the
+//    producer's slot reuse happens-after the consumer's read.
+// All other loads are relaxed: each counter has exactly one writer, which
+// may read its own counter without ordering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+
+namespace fgnvm::tile {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing slots are raw copies; T must be trivially copyable");
+
+ public:
+  /// `capacity` must be a power of two >= 2 (slot count, fixed for life).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(capacity - 1),
+        slots_(new T[capacity]) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument(
+          "SpscRing: capacity must be a power of two >= 2");
+    }
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (consumer lagging).
+  bool try_push(const T& v) {
+    const std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+    if (seq - fseq_cache_ == capacity_) {
+      fseq_cache_ = fseq_.load(std::memory_order_acquire);
+      if (seq - fseq_cache_ == capacity_) return false;
+    }
+    slots_[seq & mask_] = v;
+    seq_.store(seq + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty (producer lagging).
+  bool try_pop(T& out) {
+    const std::uint64_t fseq = fseq_.load(std::memory_order_relaxed);
+    if (fseq == seq_cache_) {
+      seq_cache_ = seq_.load(std::memory_order_acquire);
+      if (fseq == seq_cache_) return false;
+    }
+    out = slots_[fseq & mask_];
+    fseq_.store(fseq + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Total entries ever published / consumed (monotone sequence numbers).
+  std::uint64_t published() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+  std::uint64_t consumed() const {
+    return fseq_.load(std::memory_order_acquire);
+  }
+
+  /// Occupancy snapshot; exact when both sides are quiescent, otherwise a
+  /// consistent point-in-time approximation (published >= consumed always).
+  std::size_t size() const {
+    const std::uint64_t c = consumed();
+    return static_cast<std::size_t>(published() - c);
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  const std::unique_ptr<T[]> slots_;
+
+  // Producer line: the publish counter plus the producer's private cache of
+  // the consumer fseq (reloaded only when the ring looks full).
+  alignas(64) std::atomic<std::uint64_t> seq_{0};
+  std::uint64_t fseq_cache_ = 0;
+
+  // Consumer line: the fseq plus the consumer's private cache of the publish
+  // counter (reloaded only when the ring looks empty).
+  alignas(64) std::atomic<std::uint64_t> fseq_{0};
+  std::uint64_t seq_cache_ = 0;
+};
+
+}  // namespace fgnvm::tile

@@ -1,0 +1,174 @@
+// Tile topology: N shard workers + a coordinator-side merge stage
+// (DESIGN.md §14).
+//
+// The topology owns one Shard per worker, partitions the system's channels
+// contiguously across them, and routes decoded requests to the owning
+// shard's ingress ring. Each channel runs on its own clock inside its
+// shard (see shard.hpp), so simulated state and stats depend only on the
+// per-channel request subsequences — byte-identical results at any shard
+// count, which run_sharded() proves on demand against an inline serial
+// reference (FGNVM_PARANOID, or the equivalence tests).
+//
+// Two modes share all of the code:
+//  * worker_threads=true  — one std::thread per shard consuming its ring.
+//  * worker_threads=false — the serial reference: the coordinator runs
+//    Shard::process_pending inline; command order (hence everything) is
+//    identical, no threads exist.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/geometry.hpp"
+#include "nvm/energy.hpp"
+#include "sim/runner.hpp"
+#include "sys/memory_system.hpp"
+#include "tile/shard.hpp"
+#include "trace/trace.hpp"
+
+namespace fgnvm::tile {
+
+struct TopologyConfig {
+  /// Worker shards. Validated through sim::clamp_thread_count and capped by
+  /// the channel count (a shard must own at least one channel).
+  std::uint64_t shards = 1;
+  /// False runs every shard inline on the caller's thread — the serial
+  /// reference schedule the paranoid cross-check compares against.
+  bool worker_threads = true;
+  /// Slots per ring (power of two >= 2); one ingress + one egress per shard.
+  std::size_t ring_capacity = 1024;
+  /// Best-effort CPU pinning of shard workers (Linux only; ignored
+  /// elsewhere). Off by default: single-core hosts must time-share.
+  bool pin_threads = false;
+  /// Deadlock guard, as in the sim runners.
+  Cycle max_cycles = 500'000'000;
+};
+
+/// A read completion as delivered to topology clients.
+struct Completion {
+  std::uint32_t channel = 0;
+  RequestId id = 0;
+  std::uint64_t tag = 0;
+  Cycle submitted = 0;
+  Cycle completed = 0;
+
+  friend bool operator==(const Completion&, const Completion&) = default;
+};
+
+class Topology {
+ public:
+  Topology(const sys::SystemConfig& cfg, const TopologyConfig& tcfg);
+  ~Topology();
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  std::uint64_t channels() const { return route_.size(); }
+  std::uint64_t shards() const { return shards_.size(); }
+  bool threaded() const { return tcfg_.worker_threads; }
+  const sys::SystemConfig& config() const { return cfg_; }
+
+  /// Spawns the shard workers (no-op in serial mode). Call once.
+  void start();
+
+  /// Routes one request. Returns false (and consumes nothing) when the
+  /// owning shard's ingress ring is full — poll_completions() and retry.
+  /// `not_before` is the earliest submission cycle on the target channel's
+  /// clock; 0 = as soon as the channel can take it.
+  bool try_submit(Addr addr, OpType op, std::uint64_t tag = 0,
+                  Cycle not_before = 0, RequestId* id_out = nullptr);
+
+  /// Blocking try_submit: drains completions while waiting for ring space,
+  /// so it cannot deadlock against a backpressured shard.
+  RequestId submit(Addr addr, OpType op, std::uint64_t tag = 0,
+                   Cycle not_before = 0);
+
+  /// Appends all read completions received since the last call. Returns
+  /// the number appended. Writes are posted and never appear here.
+  std::size_t poll_completions(std::vector<Completion>& out);
+
+  /// Drains every channel to idle and waits for all shards to acknowledge.
+  /// After it returns, every completion for previously submitted requests
+  /// has been received (fetch them via poll_completions).
+  void flush();
+
+  /// Flushes, stops and joins the workers, and merges the final simulated
+  /// state into a sim::RunResult (channel-order merge, same fold order as
+  /// the serial MemorySystem path). The topology is dead afterwards.
+  sim::RunResult finish(const std::string& workload);
+
+  std::uint64_t submitted_reads() const { return reads_; }
+  std::uint64_t submitted_writes() const { return writes_; }
+
+  /// Max per-channel end cycle executed so far. Valid only while the shards
+  /// are quiescent: immediately after flush() (the flush acks synchronize
+  /// the channel state) or after finish().
+  Cycle drained_cycles() const;
+
+  /// Per-shard host telemetry. Stable only while the shards are quiescent
+  /// (serial mode, or after finish()).
+  std::vector<ShardMetrics> shard_metrics() const;
+
+ private:
+  struct Route {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;
+  };
+
+  void push_cmd(std::size_t shard, const TileCmd& cmd);
+  /// Pops every available egress event into ready_ / flush_acks_.
+  void drain_egress();
+  /// In serial mode, runs pending shard work inline; in threaded mode,
+  /// yields. The wait step of every blocking loop.
+  void make_progress();
+  void rethrow_worker_error();
+  void worker_body(std::size_t i);
+
+  sys::SystemConfig cfg_;
+  TopologyConfig tcfg_;
+  mem::AddressDecoder decoder_;
+  nvm::EnergyModel energy_model_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Route> route_;  // global channel -> owning shard slot
+
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;  // slot i written by worker i
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+
+  RequestId next_id_ = 1;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::size_t flush_acks_ = 0;
+  std::vector<Completion> ready_;  // drained, not yet handed to the client
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// Batch result: the merged run plus the deterministic completion stream
+/// (per-channel completion order, channels concatenated in global order —
+/// independent of shard count and thread timing).
+struct ShardedRunResult {
+  sim::RunResult run;
+  std::vector<Completion> completions;
+  std::vector<ShardMetrics> shards;
+};
+
+/// Replays a trace through a tile topology as fast as backpressure allows
+/// (the sharded counterpart of sim::run_memory_only). Under FGNVM_PARANOID
+/// every call also runs the serial inline reference and throws
+/// std::runtime_error on any stat or completion divergence.
+ShardedRunResult run_sharded(const trace::Trace& trace,
+                             const sys::SystemConfig& cfg,
+                             const TopologyConfig& tcfg);
+
+/// First difference between two sharded runs ("" when byte-identical):
+/// sim::diff_results on the merged runs, then the completion streams.
+std::string diff_sharded(const ShardedRunResult& a, const ShardedRunResult& b);
+
+}  // namespace fgnvm::tile

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "sim/runner.hpp"
-#include "sim/sweep.hpp"
+#include "common/sweep.hpp"
 #include "sys/presets.hpp"
 #include "trace/generator.hpp"
 #include "trace/spec_profiles.hpp"

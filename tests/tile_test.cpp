@@ -1,0 +1,374 @@
+// Tile runtime tests (DESIGN.md §14).
+//
+//  * TileSpscRing        — single-threaded ring semantics: wrap, full/empty,
+//                          monotone sequence publication, flow control.
+//  * TileSpscRingStress  — 2-thread producer/consumer; run under TSan by the
+//                          CI thread-sanitizer job (ctest -R "Sweep|Tile").
+//  * TileSharded         — sharded runs are byte-identical to the serial
+//                          inline reference at shard counts 1/2/4, threaded
+//                          and serial, across two presets.
+//  * TileAnchor          — single-channel tile semantics coincide with
+//                          sim::run_memory_only's submission/tick schedule.
+//  * TileThreadCount     — run_threads / FGNVM_RUN_THREADS validation.
+//  * TileFrame           — fgnvm_serve wire codec roundtrip and framing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sweep.hpp"
+#include "sim/runner.hpp"
+#include "sys/presets.hpp"
+#include "tile/frame.hpp"
+#include "tile/spsc_ring.hpp"
+#include "tile/topology.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+using namespace fgnvm;
+
+// ---------------------------------------------------------------- SpscRing
+
+TEST(TileSpscRing, RejectsBadCapacity) {
+  EXPECT_THROW(tile::SpscRing<int>(0), std::invalid_argument);
+  EXPECT_THROW(tile::SpscRing<int>(1), std::invalid_argument);
+  EXPECT_THROW(tile::SpscRing<int>(3), std::invalid_argument);
+  EXPECT_THROW(tile::SpscRing<int>(100), std::invalid_argument);
+  EXPECT_NO_THROW(tile::SpscRing<int>(2));
+  EXPECT_NO_THROW(tile::SpscRing<int>(128));
+}
+
+TEST(TileSpscRing, FullAndEmpty) {
+  tile::SpscRing<int> ring(4);
+  int v = 0;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));  // full: consumer has not acknowledged
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.try_push(4));  // fseq progress freed one slot
+  for (int want = 1; want <= 4; ++want) {
+    EXPECT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(TileSpscRing, WrapsManyTimes) {
+  tile::SpscRing<std::uint64_t> ring(8);
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(ring.try_pop(v));
+    ASSERT_EQ(v, i);
+  }
+  EXPECT_EQ(ring.published(), 1000u);
+  EXPECT_EQ(ring.consumed(), 1000u);
+}
+
+TEST(TileSpscRing, SequenceNumbersAreMonotonePublication) {
+  tile::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.published(), 0u);
+  EXPECT_EQ(ring.consumed(), 0u);
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.published(), 2u);
+  EXPECT_EQ(ring.consumed(), 0u);
+  int v = 0;
+  ring.try_pop(v);
+  EXPECT_EQ(ring.published(), 2u);
+  EXPECT_EQ(ring.consumed(), 1u);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TileSpscRingStress, TwoThreadHandoff) {
+  // Every item crosses threads through the ring exactly once; the consumer
+  // verifies FIFO order. The CI TSan job proves the acquire/release pairing
+  // (any missing edge is a data race on the slot array).
+  constexpr std::uint64_t kItems = 200'000;
+  tile::SpscRing<std::uint64_t> ring(64);
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t expect = 0, v = 0;
+    while (expect < kItems) {
+      if (ring.try_pop(v)) {
+        ASSERT_EQ(v, expect);
+        sum += v;
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_EQ(ring.published(), kItems);
+  EXPECT_EQ(ring.consumed(), kItems);
+}
+
+// ------------------------------------------------------- sharded equivalence
+
+sys::SystemConfig with_channels(sys::SystemConfig cfg,
+                                std::uint64_t channels) {
+  cfg.geometry.channels = channels;
+  cfg.geometry.validate();
+  return cfg;
+}
+
+trace::Trace mixed_trace(std::uint64_t ops) {
+  return trace::generate_trace(trace::spec2006_profile("omnetpp"), ops);
+}
+
+trace::Trace read_heavy_trace(std::uint64_t ops) {
+  return trace::generate_trace(trace::spec2006_profile("milc"), ops);
+}
+
+TEST(TileSharded, BitIdenticalAcrossShardCounts) {
+  const std::vector<std::pair<std::string, sys::SystemConfig>> presets = {
+      {"fgnvm_4x4_ch4", with_channels(sys::fgnvm_config(4, 4), 4)},
+      {"dram_ch4", with_channels(sys::dram_config(), 4)},
+  };
+  for (const auto& [name, cfg] : presets) {
+    for (const trace::Trace& tr : {read_heavy_trace(1500), mixed_trace(1500)}) {
+      tile::TopologyConfig ref_cfg;
+      ref_cfg.shards = 1;
+      ref_cfg.worker_threads = false;
+      const tile::ShardedRunResult ref = tile::run_sharded(tr, cfg, ref_cfg);
+      EXPECT_GT(ref.run.mem_cycles, 0u);
+      EXPECT_EQ(ref.run.reads + ref.run.writes, tr.records.size());
+
+      for (const std::uint64_t shards : {1u, 2u, 4u}) {
+        for (const bool threaded : {false, true}) {
+          tile::TopologyConfig tcfg;
+          tcfg.shards = shards;
+          tcfg.worker_threads = threaded;
+          const tile::ShardedRunResult got = tile::run_sharded(tr, cfg, tcfg);
+          EXPECT_EQ(tile::diff_sharded(got, ref), "")
+              << name << " / " << tr.name << " shards=" << shards
+              << (threaded ? " threaded" : " serial");
+        }
+      }
+    }
+  }
+}
+
+TEST(TileSharded, CompletionStreamIsDeterministic) {
+  const sys::SystemConfig cfg = with_channels(sys::fgnvm_config(4, 4), 4);
+  const trace::Trace tr = read_heavy_trace(800);
+  tile::TopologyConfig tcfg;
+  tcfg.shards = 4;
+  tcfg.worker_threads = true;
+  const tile::ShardedRunResult a = tile::run_sharded(tr, cfg, tcfg);
+  const tile::ShardedRunResult b = tile::run_sharded(tr, cfg, tcfg);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i], b.completions[i]) << "index " << i;
+  }
+  // The merged stream is channel-major.
+  for (std::size_t i = 1; i < a.completions.size(); ++i) {
+    EXPECT_LE(a.completions[i - 1].channel, a.completions[i].channel);
+  }
+}
+
+TEST(TileSharded, ShardCountClampsToChannels) {
+  const sys::SystemConfig cfg = with_channels(sys::fgnvm_config(4, 4), 2);
+  tile::TopologyConfig tcfg;
+  tcfg.shards = 8;  // more shards than channels
+  tcfg.worker_threads = false;
+  tile::Topology topo(cfg, tcfg);
+  EXPECT_EQ(topo.shards(), 2u);
+  EXPECT_EQ(topo.channels(), 2u);
+}
+
+TEST(TileSharded, MetricsAccountForAllTraffic) {
+  const sys::SystemConfig cfg = with_channels(sys::fgnvm_config(4, 4), 4);
+  const trace::Trace tr = mixed_trace(1000);
+  tile::TopologyConfig tcfg;
+  tcfg.shards = 2;
+  tcfg.worker_threads = true;
+  const tile::ShardedRunResult res = tile::run_sharded(tr, cfg, tcfg);
+  ASSERT_EQ(res.shards.size(), 2u);
+  std::uint64_t ops = 0, reads = 0, writes = 0, completions = 0;
+  for (const tile::ShardMetrics& m : res.shards) {
+    ops += m.ops;
+    reads += m.reads;
+    writes += m.writes;
+    completions += m.completions;
+  }
+  EXPECT_EQ(ops, tr.records.size());
+  EXPECT_EQ(reads, res.run.reads);
+  EXPECT_EQ(writes, res.run.writes);
+  EXPECT_EQ(completions, res.completions.size());
+}
+
+// ------------------------------------------------------ single-channel anchor
+
+TEST(TileAnchor, SingleChannelMatchesRunMemoryOnly) {
+  // With one channel, the tile per-channel clock semantics reduce to
+  // run_memory_only's submission/tick schedule: submissions happen at the
+  // first cycle the channel accepts, the chain runs the same event-skipping
+  // ticks, and the final drain ends at the same cycle. Every stat must be
+  // bit-identical.
+  const std::vector<std::pair<std::string, sys::SystemConfig>> presets = {
+      {"baseline", sys::baseline_config()},
+      {"fgnvm_4x4", sys::fgnvm_config(4, 4)},
+      {"fgnvm_4x4_multi_issue", sys::fgnvm_config(4, 4, true)},
+      {"dram", sys::dram_config()},
+  };
+  for (const auto& [name, cfg] : presets) {
+    for (const trace::Trace& tr : {read_heavy_trace(1200), mixed_trace(1200)}) {
+      const sim::RunResult want = sim::run_memory_only(tr, cfg);
+      tile::TopologyConfig tcfg;
+      tcfg.shards = 1;
+      tcfg.worker_threads = false;
+      const tile::ShardedRunResult got = tile::run_sharded(tr, cfg, tcfg);
+      EXPECT_EQ(sim::diff_results(got.run, want), "")
+          << name << " / " << tr.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------- thread counts
+
+TEST(TileThreadCount, ClampsInvalidValues) {
+  EXPECT_EQ(sim::clamp_thread_count(1, "test"), 1u);
+  EXPECT_EQ(sim::clamp_thread_count(0, "test"), 1u);  // warns, falls back
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint64_t ceiling = 4ULL * hw;
+  EXPECT_EQ(sim::clamp_thread_count(ceiling, "test"), ceiling);
+  EXPECT_EQ(sim::clamp_thread_count(ceiling + 1, "test"), ceiling);
+  EXPECT_EQ(sim::clamp_thread_count(1'000'000, "test"), ceiling);
+}
+
+TEST(TileThreadCount, RunThreadsEnvOverride) {
+  ::setenv("FGNVM_RUN_THREADS", "2", 1);
+  EXPECT_EQ(sys::effective_run_threads(1), 2u);
+  ::setenv("FGNVM_RUN_THREADS", "not_a_number", 1);
+  EXPECT_EQ(sys::effective_run_threads(3), 3u);  // warns, keeps configured
+  ::setenv("FGNVM_RUN_THREADS", "0", 1);
+  EXPECT_EQ(sys::effective_run_threads(3), 3u);
+  ::setenv("FGNVM_RUN_THREADS", "-4", 1);
+  EXPECT_EQ(sys::effective_run_threads(3), 3u);
+  ::setenv("FGNVM_RUN_THREADS", "1000000", 1);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(sys::effective_run_threads(1), 4ULL * hw);  // warns, clamps
+  ::unsetenv("FGNVM_RUN_THREADS");
+  EXPECT_EQ(sys::effective_run_threads(0), 1u);  // config 0 warns, min 1
+  EXPECT_EQ(sys::effective_run_threads(2), 2u);
+}
+
+// ----------------------------------------------------------------- frames
+
+TEST(TileFrame, RequestRoundtrip) {
+  const tile::Request cases[] = {
+      {tile::ReqFrame::kRead, 0xdeadbeef1234ull, 42, 7},
+      {tile::ReqFrame::kWrite, 0x1000, 0xffffffffffffffffull, 0},
+      {tile::ReqFrame::kFlush, 0, 9, 0},
+      {tile::ReqFrame::kQuit, 0, 0, 0},
+  };
+  for (const tile::Request& req : cases) {
+    std::vector<std::uint8_t> bytes;
+    tile::encode_request(req, bytes);
+    tile::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.next(payload));
+    const auto got = tile::decode_request(payload.data(), payload.size());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->kind, req.kind);
+    if (req.kind == tile::ReqFrame::kRead ||
+        req.kind == tile::ReqFrame::kWrite) {
+      EXPECT_EQ(got->addr, req.addr);
+      EXPECT_EQ(got->not_before, req.not_before);
+    }
+    if (req.kind != tile::ReqFrame::kQuit) EXPECT_EQ(got->tag, req.tag);
+    EXPECT_FALSE(reader.next(payload));  // exactly one frame
+  }
+}
+
+TEST(TileFrame, ResponseRoundtrip) {
+  tile::Response resp;
+  resp.kind = tile::RespFrame::kReadDone;
+  resp.tag = 7;
+  resp.id = 123;
+  resp.submitted = 1000;
+  resp.completed = 1525;
+  resp.channel = 3;
+  std::vector<std::uint8_t> bytes;
+  tile::encode_response(resp, bytes);
+
+  tile::Response err;
+  err.kind = tile::RespFrame::kError;
+  err.tag = 8;
+  err.error = "bad frame";
+  tile::encode_response(err, bytes);
+
+  tile::FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(reader.next(payload));
+  auto got = tile::decode_response(payload.data(), payload.size());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, tile::RespFrame::kReadDone);
+  EXPECT_EQ(got->id, 123u);
+  EXPECT_EQ(got->submitted, 1000u);
+  EXPECT_EQ(got->completed, 1525u);
+  EXPECT_EQ(got->channel, 3u);
+  ASSERT_TRUE(reader.next(payload));
+  got = tile::decode_response(payload.data(), payload.size());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, tile::RespFrame::kError);
+  EXPECT_EQ(got->error, "bad frame");
+}
+
+TEST(TileFrame, ReaderHandlesArbitrarySplits) {
+  // A stream of frames fed one byte at a time must come out intact.
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tile::Request req;
+    req.kind = i % 3 == 0 ? tile::ReqFrame::kWrite : tile::ReqFrame::kRead;
+    req.addr = i * 64;
+    req.tag = i;
+    tile::encode_request(req, bytes);
+  }
+  tile::FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t frames = 0;
+  for (const std::uint8_t b : bytes) {
+    reader.feed(&b, 1);
+    while (reader.next(payload)) {
+      const auto got = tile::decode_request(payload.data(), payload.size());
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->tag, frames);
+      EXPECT_EQ(got->addr, frames * 64);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 20u);
+}
+
+TEST(TileFrame, RejectsMalformedAndOversized) {
+  EXPECT_FALSE(tile::decode_request(nullptr, 0).has_value());
+  const std::uint8_t junk[] = {'Z', 1, 2, 3};
+  EXPECT_FALSE(tile::decode_request(junk, sizeof(junk)).has_value());
+  const std::uint8_t truncated[] = {'R', 1, 2};
+  EXPECT_FALSE(tile::decode_request(truncated, sizeof(truncated)).has_value());
+
+  tile::FrameReader reader(/*max_frame=*/64);
+  const std::uint8_t huge_len[] = {0xff, 0xff, 0xff, 0x7f};
+  reader.feed(huge_len, sizeof(huge_len));
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(reader.next(payload), std::runtime_error);
+}
+
+}  // namespace
