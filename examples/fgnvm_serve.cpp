@@ -327,29 +327,58 @@ int run_selftest(const Options& opt) {
   flush.kind = tile::ReqFrame::kFlush;
   flush.tag = 0xf1u;
   tile::encode_request(flush, out);
-  if (!write_all(sv[1], out)) {
-    std::cerr << "selftest: short write\n";
-    return 1;
-  }
 
+  // Stream the requests while draining responses: the server pushes acks
+  // and completions back concurrently with our writes, so a one-way
+  // blocking write of the whole stream would deadlock once both socket
+  // buffers fill (large traces, small SO_SNDBUF). Nonblocking sends keep
+  // the client reading whenever the outbound direction is backpressured.
+  // The flush frame is the last bytes of `out`, so seeing its ack implies
+  // everything was sent.
   tile::FrameReader reader;
   std::vector<std::uint8_t> payload;
   std::uint64_t read_done = 0, write_acks = 0;
   std::uint64_t flush_cycles = 0;
   bool flushed = false;
+  bool client_ok = true;
+  std::size_t sent = 0;
   std::uint8_t rbuf[4096];
-  while (!flushed) {
+  while (!flushed && client_ok) {
+    pollfd pfd{sv[1], POLLIN, 0};
+    if (sent < out.size()) pfd.events |= POLLOUT;
+    if (::poll(&pfd, 1, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "selftest: poll: " << std::strerror(errno) << "\n";
+      client_ok = false;
+      break;
+    }
+    if ((pfd.revents & POLLOUT) && sent < out.size()) {
+      const ssize_t n = ::send(sv[1], out.data() + sent, out.size() - sent,
+                               MSG_DONTWAIT);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        std::cerr << "selftest: send: " << std::strerror(errno) << "\n";
+        client_ok = false;
+        break;
+      }
+    }
+    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
     const ssize_t n = ::read(sv[1], rbuf, sizeof(rbuf));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       std::cerr << "selftest: connection died before flush ack\n";
-      return 1;
+      client_ok = false;
+      break;
     }
     reader.feed(rbuf, static_cast<std::size_t>(n));
     while (reader.next(payload)) {
       const auto resp = tile::decode_response(payload.data(), payload.size());
       if (!resp) {
         std::cerr << "selftest: malformed response\n";
-        return 1;
+        client_ok = false;
+        break;
       }
       if (resp->kind == tile::RespFrame::kReadDone) ++read_done;
       if (resp->kind == tile::RespFrame::kWriteAck) ++write_acks;
@@ -359,14 +388,21 @@ int run_selftest(const Options& opt) {
       }
     }
   }
-  out.clear();
-  tile::Request quit;
-  quit.kind = tile::ReqFrame::kQuit;
-  tile::encode_request(quit, out);
-  write_all(sv[1], out);
+  if (client_ok) {
+    out.clear();
+    tile::Request quit;
+    quit.kind = tile::ReqFrame::kQuit;
+    tile::encode_request(quit, out);
+    write_all(sv[1], out);
+  } else {
+    // Unblock the server thread so join() below cannot hang on a dead
+    // client: reads see EOF, writes fail.
+    ::shutdown(sv[1], SHUT_RDWR);
+  }
   server.join();
   ::close(sv[0]);
   ::close(sv[1]);
+  if (!client_ok) return 1;
 
   const sim::RunResult served = topo.finish(tr.name);
 

@@ -259,11 +259,24 @@ class FrameReader {
     return true;
   }
 
+  /// Bytes currently held, unconsumed tail plus any not-yet-reclaimed
+  /// consumed prefix. compact() bounds the prefix by the tail, so this
+  /// never exceeds ~2x the unconsumed data (plus the last feed).
+  std::size_t buffered_bytes() const { return buf_.size(); }
+
  private:
-  /// Drops consumed bytes once nothing unconsumed remains (amortized O(1)).
+  /// Reclaims consumed bytes: wholesale when everything was consumed,
+  /// otherwise by erasing the consumed prefix once it is at least as large
+  /// as the unconsumed tail. Each erase then moves no more bytes than were
+  /// consumed since the last one (amortized O(1) per byte), and a
+  /// long-lived stream whose recv boundaries keep landing mid-frame cannot
+  /// retain more than ~2x its unconsumed tail.
   void compact() {
     if (pos_ == buf_.size()) {
       buf_.clear();
+      pos_ = 0;
+    } else if (pos_ >= buf_.size() - pos_) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
       pos_ = 0;
     }
   }

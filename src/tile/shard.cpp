@@ -47,6 +47,7 @@ void Shard::run() {
   TileCmd cmd;
   int spins = 0;
   for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) break;
     if (ingress_.try_pop(cmd)) {
       spins = 0;
       const std::uint64_t depth =
@@ -195,6 +196,10 @@ void Shard::push_evt(const TileEvt& evt) {
   ++metrics_.egress_stalls;
   int spins = 0;
   while (!egress_.try_push(evt)) {
+    // Teardown valve: once the coordinator requested an emergency stop
+    // nobody drains egress anymore, so blocking here would wedge join().
+    // Dropping the event is fine — the topology is being destroyed.
+    if (stop_.load(std::memory_order_relaxed)) return;
     if (drain_hook_) {
       drain_hook_();  // serial mode: the coordinator empties its own ring
     } else if (++spins >= kSpinLimit) {

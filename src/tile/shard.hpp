@@ -22,6 +22,7 @@
 // run_memory_only submission schedule (anchored by a tier-1 test).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -129,6 +130,16 @@ class alignas(64) Shard {
     drain_hook_ = std::move(hook);
   }
 
+  /// Emergency shutdown (coordinator destruction without finish()): makes
+  /// run() exit at its next loop iteration and turns a push_evt blocked on
+  /// a full egress ring into a drop, so the worker always terminates even
+  /// with no consumer left to drain egress. Simulated state is garbage
+  /// afterwards — only safe when the topology is being torn down.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
  private:
   void handle(const TileCmd& cmd);
   void handle_submit(const TileCmd& cmd);
@@ -144,6 +155,7 @@ class alignas(64) Shard {
   std::vector<Channel> chan_;
   std::vector<mem::MemRequest> done_;  // drain scratch, reused
   std::function<void()> drain_hook_;   // serial-mode egress overflow valve
+  std::atomic<bool> stop_{false};      // emergency teardown (see request_stop)
 };
 
 }  // namespace fgnvm::tile

@@ -43,15 +43,13 @@ class SpscRing {
 
  public:
   /// `capacity` must be a power of two >= 2 (slot count, fixed for life).
+  /// Validated before any allocation (capacity_ is the first member), so a
+  /// bad value throws invalid_argument — never bad_alloc, never a transient
+  /// mask_ = SIZE_MAX.
   explicit SpscRing(std::size_t capacity)
-      : capacity_(capacity),
+      : capacity_(checked_capacity(capacity)),
         mask_(capacity - 1),
-        slots_(new T[capacity]) {
-    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
-      throw std::invalid_argument(
-          "SpscRing: capacity must be a power of two >= 2");
-    }
-  }
+        slots_(new T[capacity]) {}
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
@@ -97,6 +95,14 @@ class SpscRing {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  static std::size_t checked_capacity(std::size_t capacity) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument(
+          "SpscRing: capacity must be a power of two >= 2");
+    }
+    return capacity;
+  }
+
   const std::size_t capacity_;
   const std::size_t mask_;
   const std::unique_ptr<T[]> slots_;

@@ -60,16 +60,12 @@ Topology::Topology(const sys::SystemConfig& cfg, const TopologyConfig& tcfg)
 
 Topology::~Topology() {
   if (threads_.empty()) return;
-  // finish() was never reached: stop the workers without throwing. A failed
-  // worker sits in its drain loop and still consumes the kStop.
-  TileCmd stop;
-  stop.kind = TileCmd::Kind::kStop;
-  for (auto& shard : shards_) {
-    while (!shard->ingress().try_push(stop)) {
-      drain_egress();
-      std::this_thread::yield();
-    }
-  }
+  // finish() was never reached (early destruction, or exception unwind out
+  // of flush()/submit() with healthy workers mid-publish). No ring traffic:
+  // request_stop() makes every worker — healthy, parked-after-failure, or
+  // blocked in push_evt on a full egress ring — exit its loop, so join()
+  // cannot wedge on a consumer that no longer exists.
+  for (auto& shard : shards_) shard->request_stop();
   for (std::thread& th : threads_) {
     if (th.joinable()) th.join();
   }
@@ -107,10 +103,11 @@ void Topology::worker_body(std::size_t i) {
     failed_[i].store(true, std::memory_order_release);
   }
   // Keep the rings flowing after a failure so the coordinator's blocking
-  // loops never wedge: discard submits, ack flushes, exit on stop. The
-  // stored exception surfaces at the next flush()/finish().
+  // loops never wedge: discard submits, ack flushes, exit on stop (the
+  // kStop command or an emergency request_stop). The stored exception
+  // surfaces at the next flush()/finish().
   TileCmd cmd;
-  for (;;) {
+  while (!shards_[i]->stop_requested()) {
     if (!shards_[i]->ingress().try_pop(cmd)) {
       std::this_thread::yield();
       continue;
@@ -121,7 +118,10 @@ void Topology::worker_body(std::size_t i) {
       ack.kind = TileEvt::Kind::kFlushDone;
       ack.channel = static_cast<std::uint32_t>(i);
       ack.tag = cmd.tag;
-      while (!shards_[i]->egress().try_push(ack)) std::this_thread::yield();
+      while (!shards_[i]->egress().try_push(ack)) {
+        if (shards_[i]->stop_requested()) return;  // teardown: drop the ack
+        std::this_thread::yield();
+      }
     }
   }
 }

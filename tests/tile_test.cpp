@@ -13,6 +13,8 @@
 //  * TileFrame           — fgnvm_serve wire codec roundtrip and framing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -211,6 +213,31 @@ TEST(TileSharded, MetricsAccountForAllTraffic) {
   EXPECT_EQ(completions, res.completions.size());
 }
 
+TEST(TileSharded, ThreadedDestructionWithoutFinishDoesNotHang) {
+  // Regression: destroying a threaded topology without finish() used to
+  // join() workers that could be blocked publishing into a full egress
+  // ring with nobody left to drain it (e.g. unpolled completions beyond
+  // ring_capacity, or exception unwind out of flush()). The destructor now
+  // request_stop()s every shard, which turns a blocked push_evt into a
+  // drop, so this must terminate.
+  const sys::SystemConfig cfg = with_channels(sys::fgnvm_config(4, 4), 2);
+  const trace::Trace tr = read_heavy_trace(256);
+  tile::TopologyConfig tcfg;
+  tcfg.shards = 2;
+  tcfg.worker_threads = true;
+  tcfg.ring_capacity = 8;  // tiny rings: completions overrun egress fast
+  tile::Topology topo(cfg, tcfg);
+  topo.start();
+  for (std::size_t i = 0; i < tr.records.size(); ++i) {
+    topo.submit(tr.records[i].addr, tr.records[i].op,
+                static_cast<std::uint64_t>(i));
+  }
+  // Give the workers time to drain their ingress backlog and wedge against
+  // the (never again drained) egress rings, then destroy: no poll, no
+  // flush, no finish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
 // ------------------------------------------------------ single-channel anchor
 
 TEST(TileAnchor, SingleChannelMatchesRunMemoryOnly) {
@@ -355,6 +382,36 @@ TEST(TileFrame, ReaderHandlesArbitrarySplits) {
     }
   }
   EXPECT_EQ(frames, 20u);
+}
+
+TEST(TileFrame, ReaderReclaimsConsumedBytesMidStream) {
+  // Regression: compact() used to reclaim only once every byte was
+  // consumed, so a long-lived stream whose feed boundaries keep landing
+  // mid-frame retained every consumed byte. Feed ~58 KB of frames in
+  // chunks coprime with the frame size (boundaries never align) and check
+  // the buffer stays bounded by the unconsumed tail, not by total bytes
+  // ever received.
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    tile::Request req;
+    req.kind = tile::ReqFrame::kRead;
+    req.addr = i;
+    req.tag = i;
+    tile::encode_request(req, bytes);
+  }
+  tile::FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t frames = 0;
+  std::size_t off = 0;
+  const std::size_t chunk = 37;  // read frames are 29 bytes on the wire
+  while (off < bytes.size()) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    reader.feed(bytes.data() + off, n);
+    off += n;
+    while (reader.next(payload)) ++frames;
+    EXPECT_LT(reader.buffered_bytes(), 256u);
+  }
+  EXPECT_EQ(frames, 2000u);
 }
 
 TEST(TileFrame, RejectsMalformedAndOversized) {
