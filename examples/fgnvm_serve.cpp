@@ -1,22 +1,29 @@
 // fgnvm_serve: a streaming request front end over a live simulated FgNVM
-// system (DESIGN.md §14).
+// system (DESIGN.md §14, §15).
 //
-// The server owns a tile::Topology (shard-per-thread tile runtime) and
-// accepts one client connection at a time on a Unix or TCP socket. Clients
-// stream length-prefixed binary request frames (see src/tile/frame.hpp);
-// the server routes each request into the live simulation and streams read
-// completions back as they retire. Writes are posted: they are acked at
-// submission, matching the simulated controller's posted-write semantics.
+// The server owns a tile::Topology (shard-per-thread tile runtime) fronted
+// by a tile::FrontTier: a level-triggered epoll loop that admits many
+// simultaneous Unix or TCP clients, batches frame decode and ring
+// publication per recv(), parks clients for backpressure (emitting 'B'
+// frames), and routes every read completion back to the socket that issued
+// it. Writes are posted: they are acked at submission, matching the
+// simulated controller's posted-write semantics. 'Q' draws a per-client
+// 'S' QoS stats frame before close.
 //
 // Usage:
 //   fgnvm_serve --unix /tmp/fgnvm.sock [--preset fgnvm] [--shards 2]
 //   fgnvm_serve --tcp 9321 --preset baseline --serial
-//   fgnvm_serve --selftest [--shards 2]
+//   fgnvm_serve --selftest [--shards 4] [--clients 8]
 //
-// --selftest runs server and client in-process over a socketpair, replays a
-// synthetic trace through the socket, and cross-checks the final simulated
-// state against tile::run_sharded's serial reference — exercising the whole
-// frame -> ring -> shard -> merge path end to end.
+// --selftest runs the server and N concurrent clients in-process over
+// socketpairs with randomized frame splits, and cross-checks the final
+// simulated state against tile::run_sharded's serial single-stream
+// reference — exercising the whole epoll -> frame -> ring -> shard ->
+// merge path end to end. Traffic is partitioned by channel ownership
+// (client i owns channels with ch % clients == i) so every channel sees
+// the master trace's exact per-channel subsequence regardless of client
+// interleaving — the condition under which multi-client serving is
+// byte-identical to the serial reference.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -24,17 +31,21 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mem/geometry.hpp"
 #include "sim/runner.hpp"
 #include "sys/presets.hpp"
 #include "tile/frame.hpp"
+#include "tile/front.hpp"
 #include "tile/topology.hpp"
 #include "trace/generator.hpp"
 
@@ -50,6 +61,7 @@ struct Options {
   std::uint64_t cds = 32;
   std::uint64_t channels = 4;
   std::uint64_t shards = 2;
+  std::uint64_t clients = 1;
   bool serial = false;
   bool selftest = false;
 };
@@ -66,7 +78,9 @@ struct Options {
       << "                  by the channel count)\n"
       << "  --shards N      worker shards (default 2)\n"
       << "  --serial        run shards inline (no worker threads)\n"
-      << "  --selftest      in-process end-to-end check, then exit\n";
+      << "  --selftest      in-process end-to-end check, then exit\n"
+      << "  --clients N     concurrent selftest clients (default 1; the\n"
+      << "                  channel count is raised to N when smaller)\n";
   std::exit(2);
 }
 
@@ -111,6 +125,8 @@ Options parse_args(int argc, char** argv) {
       opt.channels = std::strtoull(need(i), nullptr, 10);
     } else if (a == "--shards") {
       opt.shards = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--clients") {
+      opt.clients = std::strtoull(need(i), nullptr, 10);
     } else if (a == "--serial") {
       opt.serial = true;
     } else if (a == "--selftest") {
@@ -119,110 +135,11 @@ Options parse_args(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  if (opt.clients == 0) usage(argv[0]);
   if (!opt.selftest && opt.unix_path.empty() && opt.tcp_port < 0) {
     usage(argv[0]);
   }
   return opt;
-}
-
-bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Serves one connection until kQuit or EOF. Returns the read completions
-/// streamed back (selftest bookkeeping).
-std::uint64_t handle_connection(int fd, tile::Topology& topo) {
-  tile::FrameReader reader;
-  std::vector<std::uint8_t> payload;
-  std::vector<std::uint8_t> outbuf;
-  std::vector<tile::Completion> comps;
-  std::uint64_t completions_sent = 0;
-  std::uint8_t rbuf[4096];
-  bool open = true;
-
-  const auto pump_completions = [&] {
-    comps.clear();
-    topo.poll_completions(comps);
-    for (const tile::Completion& c : comps) {
-      tile::Response resp;
-      resp.kind = tile::RespFrame::kReadDone;
-      resp.tag = c.tag;
-      resp.id = c.id;
-      resp.submitted = c.submitted;
-      resp.completed = c.completed;
-      resp.channel = c.channel;
-      tile::encode_response(resp, outbuf);
-      ++completions_sent;
-    }
-  };
-
-  while (open) {
-    pollfd pfd{fd, POLLIN, 0};
-    // Short poll timeout: completions retire as the simulation advances
-    // inside submit/flush, so between reads we only need to keep the
-    // outbound stream moving.
-    const int pr = ::poll(&pfd, 1, 10);
-    if (pr < 0 && errno != EINTR) break;
-    if (pr > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
-      const ssize_t n = ::read(fd, rbuf, sizeof(rbuf));
-      if (n == 0) break;  // EOF
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      reader.feed(rbuf, static_cast<std::size_t>(n));
-      while (open && reader.next(payload)) {
-        const auto req = tile::decode_request(payload.data(), payload.size());
-        tile::Response resp;
-        if (!req) {
-          resp.kind = tile::RespFrame::kError;
-          resp.error = "malformed request frame";
-          tile::encode_response(resp, outbuf);
-          continue;
-        }
-        switch (req->kind) {
-          case tile::ReqFrame::kRead:
-            topo.submit(req->addr, OpType::kRead, req->tag, req->not_before);
-            break;
-          case tile::ReqFrame::kWrite: {
-            const RequestId id = topo.submit(req->addr, OpType::kWrite,
-                                             req->tag, req->not_before);
-            resp.kind = tile::RespFrame::kWriteAck;
-            resp.tag = req->tag;
-            resp.id = id;
-            tile::encode_response(resp, outbuf);
-            break;
-          }
-          case tile::ReqFrame::kFlush:
-            topo.flush();
-            pump_completions();  // everything retired before the ack
-            resp.kind = tile::RespFrame::kFlushDone;
-            resp.tag = req->tag;
-            resp.mem_cycles = topo.drained_cycles();
-            tile::encode_response(resp, outbuf);
-            break;
-          case tile::ReqFrame::kQuit:
-            open = false;
-            break;
-        }
-      }
-    }
-    pump_completions();
-    if (!outbuf.empty()) {
-      if (!write_all(fd, outbuf)) break;
-      outbuf.clear();
-    }
-  }
-  return completions_sent;
 }
 
 int listen_socket(const Options& opt) {
@@ -258,7 +175,7 @@ int listen_socket(const Options& opt) {
       return -1;
     }
   }
-  if (::listen(fd, 1) < 0) return -1;
+  if (::listen(fd, 64) < 0) return -1;
   return fd;
 }
 
@@ -275,158 +192,263 @@ int run_server(const Options& opt) {
   std::cerr << "fgnvm_serve: " << cfg.name << ", " << topo.shards()
             << " shard(s) over " << topo.channels() << " channels, "
             << (topo.threaded() ? "threaded" : "serial") << "\n";
-  for (;;) {
-    const int cfd = ::accept(lfd, nullptr, nullptr);
-    if (cfd < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    std::cerr << "fgnvm_serve: client connected\n";
-    handle_connection(cfd, topo);
-    ::close(cfd);
-    std::cerr << "fgnvm_serve: client disconnected ("
-              << topo.submitted_reads() << " reads, "
-              << topo.submitted_writes() << " writes so far)\n";
-  }
-  ::close(lfd);
+  tile::FrontTier front(topo);
+  front.set_listener(lfd);  // the tier owns lfd from here on
+  front.run();              // serves until the process is killed
   return 0;
 }
 
+// ---------------------------------------------------------------- selftest
+
+/// What one selftest client saw on the wire.
+struct ClientOutcome {
+  std::uint64_t write_acks = 0;
+  std::uint64_t read_done = 0;
+  std::uint64_t busy_frames = 0;
+  std::uint64_t flush_cycles = 0;  // designated client only
+  bool got_stats = false;
+  tile::ClientStatsWire stats;
+  bool ok = true;
+  std::string err;
+};
+
+/// One selftest client: streams its partition in randomized chunks while
+/// draining responses, then fences with a 'P' ping — the pong proves every
+/// request was *admitted* into the shard rings, not merely written to the
+/// socket. Only once every client's pong arrived does the designated client
+/// issue the single global flush (a flush overtaking still-buffered traffic
+/// would perturb the channel clocks and break byte-identity with the
+/// reference stream). All clients Q (and collect 'S' stats) only after the
+/// flush completed.
+void client_body(int fd, const std::vector<std::uint8_t>& stream,
+                 bool designated, unsigned seed, unsigned nclients,
+                 std::atomic<unsigned>& admitted, std::atomic<bool>& flushed,
+                 ClientOutcome& res) {
+  std::mt19937 rng(seed);
+  tile::FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> pending = stream;
+  std::size_t sent = 0;
+  bool sent_ping = false, sent_flush = false, sent_quit = false;
+  std::uint8_t rbuf[4096];
+  const auto fail = [&](const std::string& what) {
+    res.ok = false;
+    res.err = what;
+  };
+
+  while (res.ok) {
+    if (sent == pending.size()) {
+      if (!sent_ping) {
+        tile::Request p;
+        p.kind = tile::ReqFrame::kPing;
+        p.tag = 0xfeu;
+        tile::encode_request(p, pending);
+        sent_ping = true;
+      } else if (designated && !sent_flush &&
+                 admitted.load(std::memory_order_acquire) == nclients) {
+        tile::Request f;
+        f.kind = tile::ReqFrame::kFlush;
+        f.tag = 0xf1u;
+        tile::encode_request(f, pending);
+        sent_flush = true;
+      } else if (!sent_quit && flushed.load(std::memory_order_acquire)) {
+        tile::Request q;
+        q.kind = tile::ReqFrame::kQuit;
+        tile::encode_request(q, pending);
+        sent_quit = true;
+      }
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (sent < pending.size()) pfd.events |= POLLOUT;
+    const int pr = ::poll(&pfd, 1, 20);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("poll: ") + std::strerror(errno));
+      break;
+    }
+    if (pr == 0) continue;  // timeout: re-check the flush/quit conditions
+    if ((pfd.revents & POLLOUT) && sent < pending.size()) {
+      // Randomized chunking: frames split at arbitrary byte boundaries so
+      // the server's incremental reader sees every partial-frame shape.
+      std::size_t chunk = 1 + rng() % 256;
+      if (chunk > pending.size() - sent) chunk = pending.size() - sent;
+      const ssize_t n =
+          ::send(fd, pending.data() + sent, chunk, MSG_DONTWAIT);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        fail(std::string("send: ") + std::strerror(errno));
+        break;
+      }
+    }
+    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    const ssize_t n = ::read(fd, rbuf, sizeof(rbuf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("read: ") + std::strerror(errno));
+      break;
+    }
+    if (n == 0) {
+      if (!res.got_stats) fail("connection closed before the stats frame");
+      break;  // server closed us after the S frame: done
+    }
+    reader.feed(rbuf, static_cast<std::size_t>(n));
+    while (reader.next(payload)) {
+      const auto resp = tile::decode_response(payload.data(), payload.size());
+      if (!resp) {
+        fail("malformed response frame");
+        break;
+      }
+      switch (resp->kind) {
+        case tile::RespFrame::kWriteAck:
+          ++res.write_acks;
+          break;
+        case tile::RespFrame::kReadDone:
+          ++res.read_done;
+          break;
+        case tile::RespFrame::kBusy:
+          ++res.busy_frames;
+          break;
+        case tile::RespFrame::kPong:
+          admitted.fetch_add(1, std::memory_order_acq_rel);
+          break;
+        case tile::RespFrame::kFlushDone:
+          res.flush_cycles = resp->mem_cycles;
+          flushed.store(true, std::memory_order_release);
+          break;
+        case tile::RespFrame::kStats:
+          res.got_stats = true;
+          res.stats = resp->stats;
+          break;
+        case tile::RespFrame::kError:
+          fail("server error frame: " + resp->error);
+          break;
+      }
+    }
+  }
+}
+
 int run_selftest(const Options& opt) {
-  const sys::SystemConfig cfg = build_config(opt);
+  Options eff = opt;
+  if (eff.channels < eff.clients) eff.channels = eff.clients;
+  const sys::SystemConfig cfg = build_config(eff);
+  const unsigned nclients = static_cast<unsigned>(eff.clients);
+
   trace::WorkloadProfile profile;
   profile.name = "serve_selftest";
   profile.write_fraction = 0.3;
   profile.seed = 11;
   const trace::Trace tr = trace::generate_trace(profile, 2000);
 
-  int sv[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-    std::cerr << "selftest: socketpair failed\n";
-    return 1;
+  // Channel-ownership partition: client (ch % clients) carries every master
+  // record decoded to channel ch, in master order. Each channel's request
+  // subsequence is then exactly the master trace's, whatever the client
+  // interleaving — the determinism precondition.
+  const mem::AddressDecoder decoder(cfg.geometry, cfg.mapping);
+  std::vector<std::vector<std::uint8_t>> streams(nclients);
+  std::vector<std::uint64_t> want_reads(nclients, 0);
+  std::vector<std::uint64_t> want_writes(nclients, 0);
+  for (std::size_t i = 0; i < tr.records.size(); ++i) {
+    const auto& rec = tr.records[i];
+    const unsigned owner =
+        static_cast<unsigned>(decoder.decode(rec.addr).channel % nclients);
+    tile::Request req;
+    req.kind = rec.op == OpType::kRead ? tile::ReqFrame::kRead
+                                       : tile::ReqFrame::kWrite;
+    req.addr = rec.addr;
+    req.tag = i;
+    tile::encode_request(req, streams[owner]);
+    ++(rec.op == OpType::kRead ? want_reads : want_writes)[owner];
   }
 
   tile::TopologyConfig tcfg;
-  tcfg.shards = opt.shards;
-  tcfg.worker_threads = !opt.serial;
+  tcfg.shards = eff.shards;
+  tcfg.worker_threads = !eff.serial;
   tile::Topology topo(cfg, tcfg);
   topo.start();
-  std::thread server([&] { handle_connection(sv[0], topo); });
 
-  // Client: stream the trace, flush, count responses, quit.
-  std::vector<std::uint8_t> out;
-  for (std::size_t i = 0; i < tr.records.size(); ++i) {
-    tile::Request req;
-    req.kind = tr.records[i].op == OpType::kRead ? tile::ReqFrame::kRead
-                                                 : tile::ReqFrame::kWrite;
-    req.addr = tr.records[i].addr;
-    req.tag = i;
-    tile::encode_request(req, out);
-  }
-  tile::Request flush;
-  flush.kind = tile::ReqFrame::kFlush;
-  flush.tag = 0xf1u;
-  tile::encode_request(flush, out);
+  tile::FrontTier::Config fcfg;
+  fcfg.exit_when_idle = true;
+  tile::FrontTier front(topo, fcfg);
 
-  // Stream the requests while draining responses: the server pushes acks
-  // and completions back concurrently with our writes, so a one-way
-  // blocking write of the whole stream would deadlock once both socket
-  // buffers fill (large traces, small SO_SNDBUF). Nonblocking sends keep
-  // the client reading whenever the outbound direction is backpressured.
-  // The flush frame is the last bytes of `out`, so seeing its ack implies
-  // everything was sent.
-  tile::FrameReader reader;
-  std::vector<std::uint8_t> payload;
-  std::uint64_t read_done = 0, write_acks = 0;
-  std::uint64_t flush_cycles = 0;
-  bool flushed = false;
-  bool client_ok = true;
-  std::size_t sent = 0;
-  std::uint8_t rbuf[4096];
-  while (!flushed && client_ok) {
-    pollfd pfd{sv[1], POLLIN, 0};
-    if (sent < out.size()) pfd.events |= POLLOUT;
-    if (::poll(&pfd, 1, -1) < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "selftest: poll: " << std::strerror(errno) << "\n";
-      client_ok = false;
-      break;
+  std::vector<int> client_fds(nclients, -1);
+  for (unsigned c = 0; c < nclients; ++c) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      std::cerr << "selftest: socketpair failed\n";
+      return 1;
     }
-    if ((pfd.revents & POLLOUT) && sent < out.size()) {
-      const ssize_t n = ::send(sv[1], out.data() + sent, out.size() - sent,
-                               MSG_DONTWAIT);
-      if (n > 0) {
-        sent += static_cast<std::size_t>(n);
-      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                 errno != EINTR) {
-        std::cerr << "selftest: send: " << std::strerror(errno) << "\n";
-        client_ok = false;
-        break;
-      }
-    }
-    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
-    const ssize_t n = ::read(sv[1], rbuf, sizeof(rbuf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      std::cerr << "selftest: connection died before flush ack\n";
-      client_ok = false;
-      break;
-    }
-    reader.feed(rbuf, static_cast<std::size_t>(n));
-    while (reader.next(payload)) {
-      const auto resp = tile::decode_response(payload.data(), payload.size());
-      if (!resp) {
-        std::cerr << "selftest: malformed response\n";
-        client_ok = false;
-        break;
-      }
-      if (resp->kind == tile::RespFrame::kReadDone) ++read_done;
-      if (resp->kind == tile::RespFrame::kWriteAck) ++write_acks;
-      if (resp->kind == tile::RespFrame::kFlushDone) {
-        flush_cycles = resp->mem_cycles;
-        flushed = true;
-      }
-    }
+    front.add_client(sv[0]);
+    client_fds[c] = sv[1];
   }
-  if (client_ok) {
-    out.clear();
-    tile::Request quit;
-    quit.kind = tile::ReqFrame::kQuit;
-    tile::encode_request(quit, out);
-    write_all(sv[1], out);
-  } else {
-    // Unblock the server thread so join() below cannot hang on a dead
-    // client: reads see EOF, writes fail.
-    ::shutdown(sv[1], SHUT_RDWR);
+
+  std::thread server([&] { front.run(); });
+
+  std::atomic<unsigned> admitted{0};
+  std::atomic<bool> flushed{false};
+  std::vector<ClientOutcome> outcomes(nclients);
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(nclients);
+  for (unsigned c = 0; c < nclients; ++c) {
+    client_threads.emplace_back([&, c] {
+      client_body(client_fds[c], streams[c], /*designated=*/c == 0,
+                  /*seed=*/1234u + c, nclients, admitted, flushed,
+                  outcomes[c]);
+    });
   }
+  for (auto& th : client_threads) th.join();
+  bool ok = true;
+  for (unsigned c = 0; c < nclients; ++c) {
+    if (!outcomes[c].ok) {
+      std::cerr << "selftest: client " << c << ": " << outcomes[c].err
+                << "\n";
+      ok = false;
+    }
+    ::close(client_fds[c]);
+  }
+  if (!ok) front.stop();  // a dead client may have left the tier serving
   server.join();
-  ::close(sv[0]);
-  ::close(sv[1]);
-  if (!client_ok) return 1;
 
   const sim::RunResult served = topo.finish(tr.name);
 
-  // Reference: the same stream through the serial inline topology.
+  // Reference: the same master stream through the serial inline topology.
   tile::TopologyConfig ref_cfg;
   ref_cfg.shards = 1;
   ref_cfg.worker_threads = false;
   const tile::ShardedRunResult ref = tile::run_sharded(tr, cfg, ref_cfg);
 
-  std::uint64_t want_reads = 0;
-  for (const auto& r : tr.records) want_reads += r.op == OpType::kRead;
-  bool ok = true;
-  if (read_done != want_reads) {
-    std::cerr << "selftest: " << read_done << " read completions, expected "
-              << want_reads << "\n";
-    ok = false;
+  std::uint64_t total_completions = 0, total_busy = 0;
+  for (unsigned c = 0; c < nclients; ++c) {
+    const ClientOutcome& r = outcomes[c];
+    if (r.read_done != want_reads[c]) {
+      std::cerr << "selftest: client " << c << ": " << r.read_done
+                << " read completions, expected " << want_reads[c] << "\n";
+      ok = false;
+    }
+    if (r.write_acks != want_writes[c]) {
+      std::cerr << "selftest: client " << c << ": " << r.write_acks
+                << " write acks, expected " << want_writes[c] << "\n";
+      ok = false;
+    }
+    // Per-client QoS isolation: the S frame must account for exactly this
+    // client's traffic, not the merged stream.
+    if (r.got_stats &&
+        (r.stats.requests != want_reads[c] + want_writes[c] ||
+         r.stats.reads != want_reads[c] || r.stats.writes != want_writes[c] ||
+         r.stats.completions != want_reads[c])) {
+      std::cerr << "selftest: client " << c
+                << ": stats frame does not match its own traffic ("
+                << r.stats.requests << " req, " << r.stats.reads << "r/"
+                << r.stats.writes << "w, " << r.stats.completions
+                << " completions)\n";
+      ok = false;
+    }
+    total_completions += r.read_done;
+    total_busy += r.busy_frames;
   }
-  if (write_acks != tr.records.size() - want_reads) {
-    std::cerr << "selftest: " << write_acks << " write acks, expected "
-              << tr.records.size() - want_reads << "\n";
-    ok = false;
-  }
-  if (flush_cycles != served.mem_cycles) {
-    std::cerr << "selftest: flush reported " << flush_cycles
+  if (outcomes[0].flush_cycles != served.mem_cycles) {
+    std::cerr << "selftest: flush reported " << outcomes[0].flush_cycles
               << " cycles, finish reported " << served.mem_cycles << "\n";
     ok = false;
   }
@@ -436,8 +458,10 @@ int run_selftest(const Options& opt) {
               << diff << "\n";
     ok = false;
   }
-  std::cerr << "selftest: " << tr.records.size() << " requests, "
-            << read_done << " completions, " << served.mem_cycles
+  std::cerr << "selftest: " << tr.records.size() << " requests over "
+            << nclients << " client(s), " << total_completions
+            << " completions, " << front.totals().parks << " parks, "
+            << total_busy << " busy frames, " << served.mem_cycles
             << " mem cycles, " << topo.shards() << " shard(s): "
             << (ok ? "PASS" : "FAIL") << "\n";
   return ok ? 0 : 1;

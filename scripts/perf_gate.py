@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Perf-regression gate for bench/perf_smoke output.
 
-Compares every throughput key (*_mem_ops_per_sec and mem_ops_per_sec) of a
+Compares every throughput key (mem_ops_per_sec, *_mem_ops_per_sec and
+*_frames_per_sec) of a
 fresh BENCH_sim_throughput.json against the committed baseline and fails
 (exit 1) when any of them dropped by more than the tolerance. The two key
 sets must match exactly: a key present in only one file fails the gate with
@@ -38,7 +39,8 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
 
 def throughput_keys(data: dict) -> list:
     return sorted(k for k in data if k == "mem_ops_per_sec"
-                  or k.endswith("_mem_ops_per_sec"))
+                  or k.endswith("_mem_ops_per_sec")
+                  or k.endswith("_frames_per_sec"))
 
 
 def load(path: Path) -> dict:

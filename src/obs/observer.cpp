@@ -27,6 +27,26 @@ void Log2Histogram::merge(const Log2Histogram& other) {
   total_ += other.total_;
 }
 
+double Log2Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const double target = fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double lo = static_cast<double>(bucket_low(i));
+      const double hi = static_cast<double>(bucket_high(i));
+      const double within = (target - cum) / static_cast<double>(buckets_[i]);
+      return lo + within * (hi - lo);
+    }
+    cum = next;
+  }
+  // Only overflow samples remain past the last bucket; clamp.
+  return static_cast<double>(bucket_high(kBuckets - 1));
+}
+
 // ------------------------------------------------------------ ObsConfig
 
 ObsConfig ObsConfig::from_config(const Config& cfg) {

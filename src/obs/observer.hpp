@@ -64,6 +64,11 @@ class Log2Histogram {
   void add(std::uint64_t value);
   void merge(const Log2Histogram& other);
 
+  /// Value at `fraction` of the distribution (0.5 = p50), linearly
+  /// interpolated within the covering power-of-two bucket. Overflow samples
+  /// clamp to the top bucket boundary. 0 when empty.
+  double percentile(double fraction) const;
+
   std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t total() const { return total_; }

@@ -26,6 +26,25 @@ std::uint64_t effective_run_threads(std::uint64_t configured) {
   return sim::clamp_thread_count(v, what);
 }
 
+namespace {
+
+/// `configured` (the tile_backend config key) with the FGNVM_TILE_BACKEND
+/// environment override applied ("1"/"0"; anything else warns and keeps the
+/// configured value). The env route lets the fig4/fig5 and ablation bench
+/// drivers run on the tile backend without per-driver config plumbing.
+bool effective_tile_backend(bool configured) {
+  if (const char* env = std::getenv("FGNVM_TILE_BACKEND")) {
+    const std::string v(env);
+    if (v == "1") return true;
+    if (v == "0") return false;
+    log_warn("FGNVM_TILE_BACKEND='", env,
+             "' is not 0 or 1; using tile_backend=", configured);
+  }
+  return configured;
+}
+
+}  // namespace
+
 SystemConfig SystemConfig::from_config(const Config& cfg) {
   SystemConfig sc;
   sc.name = cfg.get_string("name", sc.name);
@@ -51,6 +70,7 @@ SystemConfig SystemConfig::from_config(const Config& cfg) {
       cfg.get_bool("background_writes", sc.modes.background_writes);
   sc.obs = obs::ObsConfig::from_config(cfg);
   sc.run_threads = cfg.get_u64("run_threads", sc.run_threads);
+  sc.tile_backend = cfg.get_bool("tile_backend", sc.tile_backend);
   return sc;
 }
 
@@ -108,8 +128,16 @@ MemorySystem::MemorySystem(const SystemConfig& cfg,
   update_lazy();
   const std::uint64_t threads = effective_run_threads(cfg_.run_threads);
   if (threads > 1 && channels_.size() > 1) {
-    pool_ = std::make_unique<sim::SweepRunner>(static_cast<unsigned>(
-        std::min<std::uint64_t>(threads, channels_.size())));
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, channels_.size()));
+    if (effective_tile_backend(cfg_.tile_backend)) {
+      tile_pool_ = std::make_unique<TileAdvancePool>(
+          lanes, channels_.size(), [this](std::uint32_t ch, Cycle horizon) {
+            due_[ch] = channels_[ch]->advance_to(due_[ch], horizon);
+          });
+    } else {
+      pool_ = std::make_unique<sim::SweepRunner>(lanes);
+    }
   }
   scratch_due_.reserve(channels_.size());
 }
@@ -260,7 +288,12 @@ void MemorySystem::advance_channels_to(Cycle horizon) {
     // event chain independently; due_ slots are index-disjoint.
     due_[ch] = channels_[ch]->advance_to(due_[ch], horizon);
   };
-  if (pool_ && due_count >= 2) {
+  if (tile_pool_ && due_count >= 2) {
+    // Tile backend: the pool's job is the same per-channel advance; the
+    // lambda above is bypassed only because ownership (ch % lanes) is
+    // decided inside the pool.
+    tile_pool_->advance(scratch_due_, horizon);
+  } else if (pool_ && due_count >= 2) {
     pool_->for_each(due_count, advance_one);
   } else {
     for (std::size_t i = 0; i < due_count; ++i) advance_one(i);

@@ -32,6 +32,7 @@
 #include "nvm/energy.hpp"
 #include "obs/observer.hpp"
 #include "sched/controller.hpp"
+#include "sys/tile_pool.hpp"
 
 namespace fgnvm::sys {
 
@@ -56,6 +57,13 @@ struct SystemConfig {
   /// 1 = serial; capped by the channel count in effect. Overridden by the
   /// FGNVM_RUN_THREADS environment variable.
   std::uint64_t run_threads = 1;
+  /// Routes advance_channels_to through the tile runtime's ring-fed worker
+  /// pool (sys::TileAdvancePool) instead of the mutex/condvar SweepRunner.
+  /// Results are byte-identical either way (FGNVM_PARANOID-checked); the
+  /// tile backend trades wakeup latency for spin cycles. Only engages with
+  /// run_threads > 1 and 2+ channels. Key: tile_backend; overridden by the
+  /// FGNVM_TILE_BACKEND environment variable (1/0).
+  bool tile_backend = false;
 
   /// Builds from a flat Config; see individual from_config methods for keys.
   /// Access-mode keys: partial_activation, multi_activation,
@@ -91,7 +99,12 @@ class MemorySystem {
   const mem::AddressDecoder& decoder() const { return decoder_; }
   std::uint64_t channels() const { return channels_.size(); }
   /// Worker threads advance_channels_to uses (1 = serial).
-  unsigned run_threads() const { return pool_ ? pool_->threads() : 1; }
+  unsigned run_threads() const {
+    if (tile_pool_) return tile_pool_->threads();
+    return pool_ ? pool_->threads() : 1;
+  }
+  /// True when the tile-runtime advance pool is active (tile_backend).
+  bool tile_backend_active() const { return tile_pool_ != nullptr; }
 
   /// Backpressure check for the channel that `addr` maps to.
   virtual bool can_accept(Addr addr, OpType op) const;
@@ -247,6 +260,7 @@ class MemorySystem {
   bool eager_ = false;
   bool lazy_ = true;
   std::unique_ptr<sim::SweepRunner> pool_;  // null = serial advance
+  std::unique_ptr<TileAdvancePool> tile_pool_;  // tile_backend alternative
   std::vector<std::uint32_t> scratch_due_;  // channels due this advance
 };
 

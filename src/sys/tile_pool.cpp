@@ -1,0 +1,118 @@
+#include "sys/tile_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fgnvm::sys {
+
+namespace {
+
+/// Empty-poll attempts before yielding (the shard worker's constant; on a
+/// single-core host the producer cannot progress while we spin).
+constexpr int kSpinLimit = 64;
+
+std::size_t ring_capacity_for(std::uint64_t max_channels) {
+  std::size_t cap = 2;
+  while (cap < max_channels) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+TileAdvancePool::TileAdvancePool(unsigned threads, std::uint64_t max_channels,
+                                 Job job)
+    : threads_(threads), job_(std::move(job)) {
+  if (threads_ < 2) {
+    throw std::invalid_argument("TileAdvancePool: needs >= 2 lanes");
+  }
+  const std::size_t cap = ring_capacity_for(max_channels);
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.push_back(std::make_unique<Worker>(cap));
+  }
+  for (auto& w : workers_) {
+    w->th = std::thread([this, wp = w.get()] { worker_body(*wp); });
+  }
+}
+
+TileAdvancePool::~TileAdvancePool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->th.joinable()) w->th.join();
+  }
+}
+
+void TileAdvancePool::worker_body(Worker& w) {
+  Entry e;
+  int spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!w.ring.try_pop(e)) {
+      tile::cpu_relax();
+      if (++spins >= kSpinLimit) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    spins = 0;
+    if (!w.failed.load(std::memory_order_relaxed)) {
+      try {
+        job_(e.ch, e.horizon);
+      } catch (...) {
+        // First failure wins; later entries are swallowed (counted done)
+        // so the coordinator's wait loop never wedges — it rethrows once
+        // the counter catches up.
+        w.error = std::current_exception();
+        w.failed.store(true, std::memory_order_release);
+      }
+    }
+    w.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void TileAdvancePool::rethrow_failed() {
+  for (const auto& w : workers_) {
+    if (w->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(w->error);
+    }
+  }
+}
+
+void TileAdvancePool::advance(const std::vector<std::uint32_t>& chans,
+                              Cycle horizon) {
+  // Fan out the foreign-owned channels first so the workers overlap with
+  // the coordinator's own partition below.
+  for (const std::uint32_t ch : chans) {
+    const unsigned lane = ch % threads_;
+    if (lane == 0) continue;
+    Worker& w = *workers_[lane - 1];
+    const Entry e{ch, horizon};
+    int spins = 0;
+    while (!w.ring.try_push(e)) {
+      // A full ring means the worker is busy draining; ring capacity covers
+      // the channel count, so this resolves without coordinator help.
+      tile::cpu_relax();
+      if (++spins >= kSpinLimit) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    ++w.expected;
+  }
+  for (const std::uint32_t ch : chans) {
+    if (ch % threads_ == 0) job_(ch, horizon);
+  }
+  for (const auto& w : workers_) {
+    int spins = 0;
+    while (w->done.load(std::memory_order_acquire) < w->expected) {
+      tile::cpu_relax();
+      if (++spins >= kSpinLimit) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+  rethrow_failed();
+}
+
+}  // namespace fgnvm::sys

@@ -1,0 +1,78 @@
+// Ring-fed persistent worker pool for channel advancement — the tile
+// runtime's ingestion idiom (lock-free SPSC rings + cpu_relax polling,
+// src/tile/spsc_ring.hpp) applied to MemorySystem::advance_channels_to.
+//
+// This is the `tile_backend = true` alternative to sim::SweepRunner
+// (mutex/condvar, common/sweep.hpp): instead of waking a pool under a lock
+// per advance window, the coordinator streams {channel, horizon} entries
+// into per-worker SPSC rings and spin-waits (cpu_relax + yield) on each
+// worker's release-stored completion counter. Channel ownership is static
+// (channel % threads), the coordinator runs its own partition inline, and
+// every channel advances independently to the same horizon — so the result
+// is byte-identical to the serial schedule at any thread count, exactly
+// like the SweepRunner path it replaces.
+//
+// Lives in fg_sys (not fg_tile) because fg_tile links fg_sys; the ring is
+// header-only, so no cyclic link arises.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tile/spsc_ring.hpp"
+
+namespace fgnvm::sys {
+
+class TileAdvancePool {
+ public:
+  /// Called once per due channel per advance; implementations touch only
+  /// state owned by `ch` (the per-channel due cache and controller).
+  using Job = std::function<void(std::uint32_t ch, Cycle horizon)>;
+
+  /// `threads` >= 2 total lanes: the calling thread plus threads-1 workers.
+  /// `max_channels` sizes the per-worker rings (one advance never queues
+  /// more than the channel count).
+  TileAdvancePool(unsigned threads, std::uint64_t max_channels, Job job);
+  ~TileAdvancePool();
+  TileAdvancePool(const TileAdvancePool&) = delete;
+  TileAdvancePool& operator=(const TileAdvancePool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs job(ch, horizon) for every channel in `chans`, spread across the
+  /// lanes by static ownership (ch % threads; lane 0 is the caller). Blocks
+  /// until all are done; rethrows the first worker exception.
+  void advance(const std::vector<std::uint32_t>& chans, Cycle horizon);
+
+ private:
+  struct Entry {
+    std::uint32_t ch = 0;
+    Cycle horizon = 0;
+  };
+
+  struct alignas(64) Worker {
+    explicit Worker(std::size_t ring_capacity) : ring(ring_capacity) {}
+    tile::SpscRing<Entry> ring;
+    alignas(64) std::atomic<std::uint64_t> done{0};
+    std::uint64_t expected = 0;  // coordinator-side: entries ever pushed
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::thread th;
+  };
+
+  void worker_body(Worker& w);
+  void rethrow_failed();
+
+  const unsigned threads_;
+  Job job_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;  // lanes 1..threads-1
+};
+
+}  // namespace fgnvm::sys

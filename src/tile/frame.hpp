@@ -8,6 +8,14 @@
 //   'R' addr:u64 tag:u64 not_before:u64   read at addr
 //   'W' addr:u64 tag:u64 not_before:u64   write at addr (posted)
 //   'F' tag:u64                           flush: drain all channels
+//   'P' tag:u64                           ping/fence: replied to with 'P'
+//                                         only once every frame this client
+//                                         sent before it has been admitted
+//                                         into the shard rings (the pong is
+//                                         an admission barrier — clients
+//                                         coordinating a global flush fence
+//                                         first, so the flush cannot
+//                                         overtake still-buffered traffic)
 //   'Q'                                   quit: close the connection
 //
 // Server -> client (responses):
@@ -17,7 +25,25 @@
 //                                          channel:u32 names it)
 //   'D' tag mem_cycles:u64                 flush done; mem_cycles is the
 //                                          max per-channel end cycle so far
+//   'P' tag:u64                            pong: every earlier frame from
+//                                          this client has been admitted
 //   'E' tag errlen:u32 msg[errlen]         request rejected
+//   'B' tag free_slots:u64                 busy: the target shard's ingress
+//                                          ring is full; the server parked
+//                                          this client's socket and will
+//                                          resume reading once the request
+//                                          admits. free_slots is the ring's
+//                                          free-slot watermark at park time
+//                                          (pacing hint; 0 = fully full).
+//                                          At most one B per park episode.
+//   'S' 9 x u64                            per-client QoS stats, sent in
+//                                          reply to 'Q' just before close:
+//                                          requests, reads, writes,
+//                                          completions, bytes_in, bytes_out,
+//                                          p50_read_latency,
+//                                          p99_read_latency (memory cycles,
+//                                          log2-bucket interpolated),
+//                                          park_ns (host time spent parked)
 //
 // The codec is header-only and socket-free so it unit-tests without I/O:
 // encode_* append one complete frame to a byte vector; FrameReader
@@ -39,6 +65,7 @@ enum class ReqFrame : std::uint8_t {
   kRead = 'R',
   kWrite = 'W',
   kFlush = 'F',
+  kPing = 'P',
   kQuit = 'Q',
 };
 
@@ -47,6 +74,25 @@ enum class RespFrame : std::uint8_t {
   kReadDone = 'C',
   kFlushDone = 'D',
   kError = 'E',
+  kBusy = 'B',
+  kStats = 'S',
+  kPong = 'P',
+};
+
+/// Per-client QoS counters carried by the 'S' frame (field order is the
+/// wire order). Latencies are in memory cycles, interpolated from the
+/// log2-bucket read-latency histogram; park_ns is host wall time the
+/// server spent with this client's socket parked for backpressure.
+struct ClientStatsWire {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t p50_read_latency = 0;
+  std::uint64_t p99_read_latency = 0;
+  std::uint64_t park_ns = 0;
 };
 
 /// Decoded client request.
@@ -66,6 +112,8 @@ struct Response {
   Cycle completed = 0;
   std::uint32_t channel = 0;
   std::uint64_t mem_cycles = 0;
+  std::uint64_t free_slots = 0;  ///< kBusy: ring free-slot watermark
+  ClientStatsWire stats;         ///< kStats payload
   std::string error;
 };
 
@@ -126,6 +174,7 @@ inline void encode_request(const Request& r, std::vector<std::uint8_t>& out) {
       wire::put_u64(out, r.not_before);
       break;
     case ReqFrame::kFlush:
+    case ReqFrame::kPing:
       wire::put_u64(out, r.tag);
       break;
     case ReqFrame::kQuit:
@@ -159,6 +208,24 @@ inline void encode_response(const Response& r,
       wire::put_u32(out, static_cast<std::uint32_t>(r.error.size()));
       out.insert(out.end(), r.error.begin(), r.error.end());
       break;
+    case RespFrame::kBusy:
+      wire::put_u64(out, r.tag);
+      wire::put_u64(out, r.free_slots);
+      break;
+    case RespFrame::kPong:
+      wire::put_u64(out, r.tag);
+      break;
+    case RespFrame::kStats:
+      wire::put_u64(out, r.stats.requests);
+      wire::put_u64(out, r.stats.reads);
+      wire::put_u64(out, r.stats.writes);
+      wire::put_u64(out, r.stats.completions);
+      wire::put_u64(out, r.stats.bytes_in);
+      wire::put_u64(out, r.stats.bytes_out);
+      wire::put_u64(out, r.stats.p50_read_latency);
+      wire::put_u64(out, r.stats.p99_read_latency);
+      wire::put_u64(out, r.stats.park_ns);
+      break;
   }
   wire::end_frame(out, at);
 }
@@ -178,6 +245,7 @@ inline std::optional<Request> decode_request(const std::uint8_t* p,
       r.not_before = wire::get_u64(p + 17);
       return r;
     case ReqFrame::kFlush:
+    case ReqFrame::kPing:
       if (n != 1 + 8) return std::nullopt;
       r.tag = wire::get_u64(p + 1);
       return r;
@@ -220,12 +288,45 @@ inline std::optional<Response> decode_response(const std::uint8_t* p,
       r.error.assign(reinterpret_cast<const char*>(p + 13), len);
       return r;
     }
+    case RespFrame::kBusy:
+      if (n != 1 + 16) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      r.free_slots = wire::get_u64(p + 9);
+      return r;
+    case RespFrame::kPong:
+      if (n != 1 + 8) return std::nullopt;
+      r.tag = wire::get_u64(p + 1);
+      return r;
+    case RespFrame::kStats:
+      if (n != 1 + 72) return std::nullopt;
+      r.stats.requests = wire::get_u64(p + 1);
+      r.stats.reads = wire::get_u64(p + 9);
+      r.stats.writes = wire::get_u64(p + 17);
+      r.stats.completions = wire::get_u64(p + 25);
+      r.stats.bytes_in = wire::get_u64(p + 33);
+      r.stats.bytes_out = wire::get_u64(p + 41);
+      r.stats.p50_read_latency = wire::get_u64(p + 49);
+      r.stats.p99_read_latency = wire::get_u64(p + 57);
+      r.stats.park_ns = wire::get_u64(p + 65);
+      return r;
   }
   return std::nullopt;
 }
 
-/// Incremental frame splitter: feed() raw stream bytes, next() yields each
-/// complete payload. Frames above `max_frame` bytes are rejected (a
+/// Borrowed view of one complete frame payload inside a FrameReader's
+/// buffer. Valid only until the reader's next feed() (which may compact or
+/// reallocate the buffer) — decode before feeding again. `off` is the
+/// frame's start offset (length prefix included), an opaque token for
+/// FrameReader::rewind_to with the same lifetime as the view.
+struct FrameView {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+  std::size_t off = 0;
+};
+
+/// Incremental frame splitter: feed() raw stream bytes, then either next()
+/// (one copied payload at a time) or decode_batch() (all complete payloads
+/// as zero-copy views). Frames above `max_frame` bytes are rejected (a
 /// malformed or hostile length prefix must not balloon the buffer).
 class FrameReader {
  public:
@@ -233,25 +334,59 @@ class FrameReader {
       : max_frame_(max_frame) {}
 
   void feed(const std::uint8_t* data, std::size_t n) {
+    // Compacting before the insert (rather than after a failed next())
+    // keeps the amortized O(1) bound and guarantees feed() is the only
+    // call that moves the buffer — FrameViews from decode_batch() stay
+    // valid across everything except the next feed().
+    compact();
     buf_.insert(buf_.end(), data, data + n);
   }
 
-  /// True when a complete frame was extracted into `payload`. Throws
-  /// std::runtime_error on an oversized length prefix.
-  bool next(std::vector<std::uint8_t>& payload) {
-    if (buf_.size() - pos_ < 4) {
-      compact();
-      return false;
+  /// Drains every complete frame currently buffered into `out` (cleared
+  /// first) as views into the internal buffer. Returns out.size(). The
+  /// views are invalidated by the next feed(). Throws std::runtime_error
+  /// on an oversized length prefix; frames already placed in `out` before
+  /// the bad prefix remain valid (decode-then-reject mid-batch).
+  std::size_t decode_batch(std::vector<FrameView>& out) {
+    out.clear();
+    while (true) {
+      if (buf_.size() - pos_ < 4) break;
+      const std::uint32_t len = wire::get_u32(buf_.data() + pos_);
+      if (len > max_frame_) {
+        throw std::runtime_error("FrameReader: oversized frame (" +
+                                 std::to_string(len) + " bytes)");
+      }
+      if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) break;
+      out.push_back(FrameView{buf_.data() + pos_ + 4, len, pos_});
+      pos_ += 4 + len;
     }
+    return out.size();
+  }
+
+  /// Un-consumes a suffix of the current decode_batch pass: rewinds the
+  /// cursor to a view's `off`, so that frame and everything after it are
+  /// returned again by the next decode_batch/next call. The front tier uses
+  /// this to put a control frame back when the batch before it parked the
+  /// client (the frame must not act until the held requests admit). Valid
+  /// only until the next feed(), like the views themselves.
+  void rewind_to(std::size_t off) {
+    if (off > pos_) {
+      throw std::logic_error("FrameReader: rewind past the consume cursor");
+    }
+    pos_ = off;
+  }
+
+  /// True when a complete frame was extracted into `payload`. Throws
+  /// std::runtime_error on an oversized length prefix. (Reclaiming consumed
+  /// bytes happens in feed(), so next() never moves the buffer either.)
+  bool next(std::vector<std::uint8_t>& payload) {
+    if (buf_.size() - pos_ < 4) return false;
     const std::uint32_t len = wire::get_u32(buf_.data() + pos_);
     if (len > max_frame_) {
       throw std::runtime_error("FrameReader: oversized frame (" +
                                std::to_string(len) + " bytes)");
     }
-    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) {
-      compact();
-      return false;
-    }
+    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return false;
     payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
                    buf_.begin() +
                        static_cast<std::ptrdiff_t>(pos_ + 4 + len));

@@ -26,6 +26,9 @@ double thread_cpu_seconds() {
 /// single-core host the producer cannot make progress while we spin.
 constexpr int kSpinLimit = 64;
 
+/// Commands drained per try_pop_n batch in the worker loop.
+constexpr std::size_t kCmdBatch = 64;
+
 }  // namespace
 
 Shard::Shard(std::uint32_t index, std::size_t ring_capacity, Cycle max_cycles)
@@ -44,22 +47,34 @@ void Shard::add_channel(std::unique_ptr<sched::ControllerBase> ctrl,
 
 void Shard::run() {
   const double cpu0 = thread_cpu_seconds();
-  TileCmd cmd;
+  // Batched ingress drain: one fseq release store acknowledges the whole
+  // batch, so a saturated producer sees the consumer's cache line ping once
+  // per kCmdBatch commands instead of once per command.
+  TileCmd batch[kCmdBatch];
   int spins = 0;
-  for (;;) {
+  bool stopping = false;
+  while (!stopping) {
     if (stop_.load(std::memory_order_relaxed)) break;
-    if (ingress_.try_pop(cmd)) {
+    const std::size_t got = ingress_.try_pop_n(batch, kCmdBatch);
+    if (got > 0) {
       spins = 0;
       const std::uint64_t depth =
-          static_cast<std::uint64_t>(ingress_.size()) + 1;
+          static_cast<std::uint64_t>(ingress_.size()) + got;
       if (depth > metrics_.ingress_peak) metrics_.ingress_peak = depth;
-      if (cmd.kind == TileCmd::Kind::kStop) {
-        ++metrics_.cmds;
-        break;
+      for (std::size_t i = 0; i < got; ++i) {
+        if (batch[i].kind == TileCmd::Kind::kStop) {
+          // kStop is the last command the coordinator ever pushes; anything
+          // popped after it in this batch is undefined traffic and dropped.
+          ++metrics_.cmds;
+          stopping = true;
+          break;
+        }
+        handle(batch[i]);
       }
-      handle(cmd);
     } else {
       ++metrics_.ingress_empty;
+      ++metrics_.idle_spins;
+      cpu_relax();
       if (++spins >= kSpinLimit) {
         spins = 0;
         std::this_thread::yield();
@@ -202,9 +217,12 @@ void Shard::push_evt(const TileEvt& evt) {
     if (stop_.load(std::memory_order_relaxed)) return;
     if (drain_hook_) {
       drain_hook_();  // serial mode: the coordinator empties its own ring
-    } else if (++spins >= kSpinLimit) {
-      spins = 0;
-      std::this_thread::yield();
+    } else {
+      cpu_relax();
+      if (++spins >= kSpinLimit) {
+        spins = 0;
+        std::this_thread::yield();
+      }
     }
   }
 }

@@ -76,6 +76,7 @@ struct alignas(64) ShardMetrics {
   std::uint64_t completions = 0;    ///< read completions published
   std::uint64_t flushes = 0;
   std::uint64_t ingress_empty = 0;  ///< pop attempts that found no work
+  std::uint64_t idle_spins = 0;     ///< cpu_relax pauses in the idle poll
   std::uint64_t egress_stalls = 0;  ///< pushes that waited for ring space
   std::uint64_t ingress_peak = 0;   ///< high-water inbound occupancy
   std::uint64_t advance_calls = 0;  ///< event-chain advances executed

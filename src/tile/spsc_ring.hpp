@@ -36,6 +36,20 @@
 
 namespace fgnvm::tile {
 
+/// One spin-wait pause: tells the CPU (and on SMT, the sibling thread) that
+/// this core is busy-waiting, without yielding to the OS. Used inside the
+/// shard idle polls and full-ring wait loops — a bare spin there burns a
+/// full core at steady idle and starves the other hyperthread.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
 template <typename T>
 class SpscRing {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -65,6 +79,29 @@ class SpscRing {
     return true;
   }
 
+  /// Batched producer side: pushes up to `n` items from `items`, publishing
+  /// the whole batch with ONE release store at the batch tail (the
+  /// firedancer mcache idiom amortized: slot writes are plain stores, only
+  /// the final seq advance pays the release fence / cache-line handoff).
+  /// Returns the number pushed — less than `n` only when the ring filled.
+  /// The consumer observes the batch atomically at the tail store; partial
+  /// prefixes are never visible.
+  std::size_t try_push_n(const T* items, std::size_t n) {
+    const std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+    std::size_t free = capacity_ - static_cast<std::size_t>(seq - fseq_cache_);
+    if (free < n) {
+      fseq_cache_ = fseq_.load(std::memory_order_acquire);
+      free = capacity_ - static_cast<std::size_t>(seq - fseq_cache_);
+    }
+    const std::size_t take = n < free ? n : free;
+    if (take == 0) return 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      slots_[(seq + i) & mask_] = items[i];
+    }
+    seq_.store(seq + take, std::memory_order_release);
+    return take;
+  }
+
   /// Consumer side. False when the ring is empty (producer lagging).
   bool try_pop(T& out) {
     const std::uint64_t fseq = fseq_.load(std::memory_order_relaxed);
@@ -75,6 +112,25 @@ class SpscRing {
     out = slots_[fseq & mask_];
     fseq_.store(fseq + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Batched consumer side: pops up to `max` available items into `out`,
+  /// acknowledging the whole batch with one release store of the fseq.
+  /// Returns the number popped (0 when empty).
+  std::size_t try_pop_n(T* out, std::size_t max) {
+    const std::uint64_t fseq = fseq_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(seq_cache_ - fseq);
+    if (avail < max) {
+      seq_cache_ = seq_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(seq_cache_ - fseq);
+    }
+    const std::size_t take = max < avail ? max : avail;
+    if (take == 0) return 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = slots_[(fseq + i) & mask_];
+    }
+    fseq_.store(fseq + take, std::memory_order_release);
+    return take;
   }
 
   /// Total entries ever published / consumed (monotone sequence numbers).

@@ -196,6 +196,69 @@ RequestId Topology::submit(Addr addr, OpType op, std::uint64_t tag,
   return id;
 }
 
+std::size_t Topology::try_submit_batch(SubmitItem* items, std::size_t n) {
+  if (!started_ || finished_) {
+    throw std::logic_error("tile::Topology: submit outside start()..finish()");
+  }
+  stage_cmds_.resize(shards_.size());
+  stage_idx_.resize(shards_.size());
+  for (auto& v : stage_cmds_) v.clear();
+  for (auto& v : stage_idx_) v.clear();
+
+  // Stage in stream order: per-channel FIFO inside each shard's staging
+  // vector, because channel -> shard routing is fixed.
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i].accepted = false;
+    items[i].id = 0;
+    const mem::DecodedAddr d = decoder_.decode(items[i].addr);
+    const Route r = route_.at(d.channel);
+    TileCmd cmd;
+    cmd.kind = TileCmd::Kind::kSubmit;
+    cmd.op = items[i].op;
+    cmd.local_ch = r.local;
+    cmd.tag = items[i].tag;
+    cmd.not_before = items[i].not_before;
+    cmd.addr = d;
+    stage_cmds_[r.shard].push_back(cmd);
+    stage_idx_[r.shard].push_back(i);
+  }
+
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& cmds = stage_cmds_[s];
+    if (cmds.empty()) continue;
+    // Ids are assigned immediately before the push and next_id_ advances
+    // only by the admitted prefix, so the rejected tail's ids were never
+    // published anywhere and are simply reissued later — no gaps, no reuse
+    // of a live id.
+    for (std::size_t k = 0; k < cmds.size(); ++k) {
+      cmds[k].id = next_id_ + static_cast<RequestId>(k);
+    }
+    const std::size_t pushed =
+        shards_[s]->ingress().try_push_n(cmds.data(), cmds.size());
+    next_id_ += pushed;
+    for (std::size_t k = 0; k < pushed; ++k) {
+      SubmitItem& it = items[stage_idx_[s][k]];
+      it.accepted = true;
+      it.id = cmds[k].id;
+      if (it.op == OpType::kRead) {
+        ++reads_;
+      } else {
+        ++writes_;
+      }
+    }
+    accepted += pushed;
+  }
+  return accepted;
+}
+
+std::uint64_t Topology::ring_free(Addr addr) {
+  const mem::DecodedAddr d = decoder_.decode(addr);
+  const Route r = route_.at(d.channel);
+  SpscRing<TileCmd>& ring = shards_[r.shard]->ingress();
+  return ring.capacity() - ring.size();
+}
+
 std::size_t Topology::poll_completions(std::vector<Completion>& out) {
   drain_egress();
   const std::size_t n = ready_.size();

@@ -88,6 +88,40 @@ class Topology {
   RequestId submit(Addr addr, OpType op, std::uint64_t tag = 0,
                    Cycle not_before = 0);
 
+  /// One request of a submit batch. addr/op/tag/not_before are inputs;
+  /// accepted/id are outputs (id stays 0 when not admitted).
+  struct SubmitItem {
+    Addr addr = 0;
+    OpType op = OpType::kRead;
+    std::uint64_t tag = 0;
+    Cycle not_before = 0;
+    RequestId id = 0;
+    bool accepted = false;
+  };
+
+  /// Batched try_submit: routes `n` items and publishes each shard's share
+  /// with a single release store (SpscRing::try_push_n), so the steady-state
+  /// cost drops from one seq handoff per request to one per batch. Items are
+  /// staged per shard in stream order, which preserves per-channel FIFO —
+  /// the invariant the byte-identity guarantee rests on. When a shard's ring
+  /// fills mid-batch, that shard admits a prefix and the rest of its items
+  /// are left accepted=false (ids for the rejected tail are never consumed);
+  /// other shards are unaffected. Returns the number admitted. The caller
+  /// must re-offer each rejected item before any later request for the same
+  /// channel (the front tier parks the client to guarantee this).
+  std::size_t try_submit_batch(SubmitItem* items, std::size_t n);
+
+  /// Free-slot watermark of the ingress ring owning `addr`'s channel — the
+  /// pacing hint carried by the 'B' busy frame. Approximate while the shard
+  /// is actively draining (monotonically stale-low).
+  std::uint64_t ring_free(Addr addr);
+
+  /// One unit of coordinator-side progress: drains egress and, in serial
+  /// mode, runs pending shard work inline (threaded mode yields instead).
+  /// Event-loop callers (the front tier) invoke this between socket events
+  /// so serial-mode shards advance without a blocking submit.
+  void pump() { make_progress(); }
+
   /// Appends all read completions received since the last call. Returns
   /// the number appended. Writes are posted and never appear here.
   std::size_t poll_completions(std::vector<Completion>& out);
@@ -146,6 +180,10 @@ class Topology {
   std::uint64_t writes_ = 0;
   std::size_t flush_acks_ = 0;
   std::vector<Completion> ready_;  // drained, not yet handed to the client
+  // try_submit_batch scratch (per-shard staging + original item indices),
+  // reused across calls so the hot path stays allocation-free.
+  std::vector<std::vector<TileCmd>> stage_cmds_;
+  std::vector<std::vector<std::size_t>> stage_idx_;
   bool started_ = false;
   bool finished_ = false;
 };

@@ -61,6 +61,38 @@ TEST(Log2HistogramTest, OverflowAndMerge) {
   EXPECT_EQ(other.overflow(), 1u);
 }
 
+TEST(Log2HistogramTest, PercentileInterpolatesWithinBuckets) {
+  Log2Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // Four samples in bucket 9 ([512, 1024)): percentiles interpolate
+  // linearly across the bucket span, and the fraction clamps to [0, 1].
+  Log2Histogram single;
+  for (int i = 0; i < 4; ++i) single.add(600);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 512.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.5), 768.0);
+  EXPECT_DOUBLE_EQ(single.percentile(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(single.percentile(-3.0), single.percentile(0.0));
+  EXPECT_DOUBLE_EQ(single.percentile(7.0), single.percentile(1.0));
+
+  // Split across buckets 0 ([0, 2), 3 samples) and 2 ([4, 8), 1 sample):
+  // the walk skips the empty bucket 1 and lands mid-bucket on each side.
+  Log2Histogram split;
+  split.add(0);
+  split.add(1);
+  split.add(1);
+  split.add(5);
+  EXPECT_DOUBLE_EQ(split.percentile(0.5), (2.0 / 3.0) * 2.0);
+  EXPECT_DOUBLE_EQ(split.percentile(0.9), 4.0 + 0.6 * 4.0);
+
+  // Overflow-only distributions clamp to the top bucket boundary.
+  Log2Histogram over;
+  over.add(1ULL << Log2Histogram::kBuckets);
+  EXPECT_DOUBLE_EQ(
+      over.percentile(0.99),
+      static_cast<double>(Log2Histogram::bucket_high(Log2Histogram::kBuckets - 1)));
+}
+
 // ------------------------------------------------------------ TimeSeries
 
 TimeSeriesSample sample(Cycle cycle) {
