@@ -13,6 +13,7 @@
 #include "trace/analyzer.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
+#include "trace/stream.hpp"
 #include "trace/spec_profiles.hpp"
 
 namespace {
@@ -22,19 +23,23 @@ int usage() {
             << "  trace_tool generate <profile|list> <memory_ops> <out>\n"
             << "  trace_tool analyze <in>\n"
             << "  trace_tool filter <in> <out>\n"
-            << "  trace_tool convert <in> <out.bin|out.trace>\n"
-            << "files ending in .bin use the compact binary format; inputs "
+            << "  trace_tool convert <in> <out.bin|out.fgs|out.trace>\n"
+            << "files ending in .bin use the compact binary format, .fgs the "
+               "FGS1 stream format\n(replayable with bounded memory); inputs "
                "are format-sniffed.\n";
   return 2;
 }
 
-bool is_binary_name(const std::string& path) {
-  return path.size() > 4 && path.substr(path.size() - 4) == ".bin";
+bool has_suffix(const std::string& path, const std::string& suffix) {
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 void write_any(const std::string& path, const fgnvm::trace::Trace& t) {
-  if (is_binary_name(path)) {
+  if (has_suffix(path, ".bin")) {
     fgnvm::trace::write_trace_binary_file(path, t);
+  } else if (has_suffix(path, ".fgs")) {
+    fgnvm::trace::write_trace_stream_file(path, t);
   } else {
     fgnvm::trace::write_trace_file(path, t);
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate for bench/perf_smoke output.
 
-Compares every throughput key (mem_ops_per_sec, *_mem_ops_per_sec and
+Compares every throughput key (mem_ops_per_sec, *_ops_per_sec and
 *_frames_per_sec) of a
 fresh BENCH_sim_throughput.json against the committed baseline and fails
 (exit 1) when any of them dropped by more than the tolerance. The two key
@@ -12,7 +12,10 @@ with --update in the same change. With --allow-new-keys, a key present only
 in the current file is reported as a warning instead (for landing a new
 scenario before its same-machine baseline is blessed); a key missing from
 the current file still fails. Gains beyond the tolerance are reported but
-never fail the gate.
+never fail the gate. Keys matching a repeatable --informational-prefix are
+reported (with their delta) but never gated: no floor, no key-set matching —
+for figures that are structurally too noisy to gate (thread timing, 1024-core
+single-rep runs) yet worth tracking on the run page.
 
 When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), a per-key
 baseline/current/delta/speedup markdown table is appended to it, so perf
@@ -39,8 +42,12 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
 
 def throughput_keys(data: dict) -> list:
     return sorted(k for k in data if k == "mem_ops_per_sec"
-                  or k.endswith("_mem_ops_per_sec")
+                  or k.endswith("_ops_per_sec")
                   or k.endswith("_frames_per_sec"))
+
+
+def is_informational(key: str, prefixes: list) -> bool:
+    return any(key.startswith(p) for p in prefixes)
 
 
 def load(path: Path) -> dict:
@@ -103,6 +110,11 @@ def main() -> int:
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current result")
+    ap.add_argument("--informational-prefix", action="append", default=[],
+                    metavar="PREFIX",
+                    help="throughput keys starting with PREFIX are reported "
+                         "but never gated: no regression floor and no "
+                         "key-set matching (repeatable)")
     ap.add_argument("--allow-new-keys", action="store_true",
                     help="a key present only in --current warns instead of "
                          "failing (landing a new scenario before its "
@@ -134,6 +146,19 @@ def main() -> int:
     rows = []  # (key, baseline, current, change) for the step summary
     for key in sorted(set(throughput_keys(baseline))
                       | set(throughput_keys(current))):
+        if is_informational(key, args.informational_prefix):
+            if key not in baseline or key not in current:
+                where = "baseline" if key in baseline else "current"
+                print(f"perf_gate: {key}: only in {where} "
+                      f"(informational, not gated)")
+                continue
+            base, cur = baseline[key], current[key]
+            change = (cur - base) / base
+            print(f"perf_gate: {key} baseline {base:.0f}, "
+                  f"current {cur:.0f} ({change:+.1%}, {cur / base:.2f}x, "
+                  f"informational, not gated)")
+            rows.append((key, base, cur, change))
+            continue
         if key not in baseline or key not in current:
             where = "baseline" if key in baseline else "current"
             missing = "current" if key in baseline else "baseline"

@@ -12,13 +12,24 @@ CpuParams CpuParams::from_config(const Config& cfg) {
   return p;
 }
 
+RobCpu::RobCpu(trace::RecordSource& source, const CpuParams& params,
+               sys::MemorySystem& mem, std::uint64_t hart)
+    : src_(&source), params_(params), mem_(mem), hart_(hart) {
+  total_insts_ = src_->total_instructions();
+  has_cur_ = src_->next(cur_);
+  if (has_cur_) next_mem_inst_ = cur_.icount_gap;
+}
+
 RobCpu::RobCpu(const trace::Trace& trace, const CpuParams& params,
                sys::MemorySystem& mem, std::uint64_t hart)
-    : trace_(trace), params_(params), mem_(mem), hart_(hart) {
-  total_insts_ = trace.total_instructions();
-  if (!trace_.records.empty()) {
-    next_mem_inst_ = trace_.records[0].icount_gap;
-  }
+    : owned_src_(std::make_unique<trace::TraceSource>(trace)),
+      src_(owned_src_.get()),
+      params_(params),
+      mem_(mem),
+      hart_(hart) {
+  total_insts_ = src_->total_instructions();
+  has_cur_ = src_->next(cur_);
+  if (has_cur_) next_mem_inst_ = cur_.icount_gap;
 }
 
 void RobCpu::complete(const std::vector<mem::MemRequest>& done) {
@@ -60,28 +71,26 @@ void RobCpu::do_fetch(Cycle mem_now) {
       ++fetch_stalls_;
       return;  // ROB full
     }
-    if (next_rec_ < trace_.records.size() && fetched_ == next_mem_inst_) {
-      const trace::TraceRecord& rec = trace_.records[next_rec_];
-      if (!mem_.can_accept(rec.addr, rec.op)) {
+    if (has_cur_ && fetched_ == next_mem_inst_) {
+      if (!mem_.can_accept(cur_.addr, cur_.op)) {
         ++backpressure_;
         return;  // memory queue backpressure stalls fetch
       }
-      const RequestId id = mem_.submit(rec.addr, rec.op, mem_now, hart_);
-      if (rec.op == OpType::kRead) {
+      const RequestId id = mem_.submit(cur_.addr, cur_.op, mem_now, hart_);
+      if (cur_.op == OpType::kRead) {
         loads_.push_back(PendingLoad{fetched_, id});
       }
       ++fetched_;
       --budget;
-      ++next_rec_;
-      if (next_rec_ < trace_.records.size()) {
-        next_mem_inst_ = fetched_ + trace_.records[next_rec_].icount_gap;
+      has_cur_ = src_->next(cur_);
+      if (has_cur_) {
+        next_mem_inst_ = fetched_ + cur_.icount_gap;
       }
       continue;
     }
     // Bulk-fetch plain instructions up to the next memory op.
-    const std::uint64_t until_mem = next_rec_ < trace_.records.size()
-                                        ? next_mem_inst_ - fetched_
-                                        : total_insts_ - fetched_;
+    const std::uint64_t until_mem =
+        has_cur_ ? next_mem_inst_ - fetched_ : total_insts_ - fetched_;
     const std::uint64_t rob_space =
         params_.rob_entries - (fetched_ - retired_);
     const std::uint64_t n = std::min({budget, until_mem, rob_space});
@@ -125,7 +134,7 @@ RobCpu::GapState RobCpu::gap_state() const {
       break;
     }
   }
-  s.rec_inst = next_rec_ < trace_.records.size() ? next_mem_inst_ : kNoFence;
+  s.rec_inst = has_cur_ ? next_mem_inst_ : kNoFence;
   return s;
 }
 
@@ -254,11 +263,10 @@ RobCpu::Action RobCpu::next_action(Cycle now) const {
       if (a.cycle == now) {
         // The attempt happens this very memory cycle, so the queue-full
         // answer is decided by the memory state as of now: classify it.
-        const trace::TraceRecord& rec = trace_.records[next_rec_];
-        if (!mem_.can_accept(rec.addr, rec.op)) {
+        if (!mem_.can_accept(cur_.addr, cur_.op)) {
           a.kind = ActionKind::kBackpressured;
-          a.addr = rec.addr;
-          a.op = rec.op;
+          a.addr = cur_.addr;
+          a.op = cur_.op;
           return a;
         }
       }

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "common/types.hpp"
 #include "sys/memory_system.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace fgnvm::cpu {
@@ -28,10 +30,17 @@ struct CpuParams {
 
 class RobCpu {
  public:
-  /// The trace must outlive the CPU. The memory system is shared with the
-  /// simulation driver, which ticks it separately. `hart` identifies this
-  /// core when several share one memory system: submissions are tagged with
-  /// it and complete() ignores other harts' requests.
+  /// The source must outlive the CPU, which takes over its cursor (the
+  /// constructor consumes the first record; construct over a freshly
+  /// reset() source). The memory system is shared with the simulation
+  /// driver, which ticks it separately. `hart` identifies this core when
+  /// several share one memory system: submissions are tagged with it and
+  /// complete() ignores other harts' requests.
+  RobCpu(trace::RecordSource& source, const CpuParams& params,
+         sys::MemorySystem& mem, std::uint64_t hart = 0);
+
+  /// Convenience over a materialized trace (which must outlive the CPU):
+  /// wraps it in an owned TraceSource cursor.
   RobCpu(const trace::Trace& trace, const CpuParams& params,
          sys::MemorySystem& mem, std::uint64_t hart = 0);
 
@@ -138,13 +147,15 @@ class RobCpu {
     bool answered = false;  // memory answered; retires when it reaches head
   };
 
-  const trace::Trace& trace_;
+  std::unique_ptr<trace::RecordSource> owned_src_;  // Trace-ctor adapter
+  trace::RecordSource* src_;
   CpuParams params_;
   sys::MemorySystem& mem_;
   std::uint64_t hart_ = 0;
 
   std::uint64_t total_insts_ = 0;
-  std::uint64_t next_rec_ = 0;        // next trace record to issue
+  trace::TraceRecord cur_{};          // next record to issue, if has_cur_
+  bool has_cur_ = false;
   std::uint64_t next_mem_inst_ = 0;   // instruction index of that record
   std::uint64_t fetched_ = 0;
   std::uint64_t retired_ = 0;

@@ -17,6 +17,7 @@ MemGeometry MemGeometry::from_config(const Config& cfg) {
   g.line_bytes = cfg.get_u64("line_bytes", g.line_bytes);
   g.num_sags = cfg.get_u64("sags", g.num_sags);
   g.num_cds = cfg.get_u64("cds", g.num_cds);
+  g.mapping_unit = cfg.get_u64("mapping_unit", g.mapping_unit);
   g.validate();
   return g;
 }
@@ -48,6 +49,15 @@ void MemGeometry::validate() const {
   if (num_cds > row_bytes / 8) {
     throw std::runtime_error("MemGeometry: too many CDs for row width");
   }
+  if (mapping_unit != 0) {
+    check_pow2(mapping_unit, "mapping_unit");
+    if (mapping_unit < line_bytes) {
+      throw std::runtime_error("MemGeometry: mapping_unit < line_bytes");
+    }
+    if (mapping_unit > row_bytes) {
+      throw std::runtime_error("MemGeometry: mapping_unit > row_bytes");
+    }
+  }
 }
 
 std::string MemGeometry::to_string() const {
@@ -55,6 +65,9 @@ std::string MemGeometry::to_string() const {
   os << channels << "ch x " << ranks_per_channel << "rk x " << banks_per_rank
      << "bk, " << rows_per_bank << " rows x " << row_bytes << "B, "
      << num_sags << " SAGs x " << num_cds << " CDs";
+  if (mapping_unit_bytes() != line_bytes) {
+    os << ", " << mapping_unit_bytes() << "B unit";
+  }
   return os.str();
 }
 
@@ -79,6 +92,7 @@ AddressDecoder::AddressDecoder(const MemGeometry& geometry,
     : geo_(geometry), mapping_(mapping) {
   geo_.validate();
   off_bits_ = log2_exact(geo_.line_bytes);
+  unit_bits_ = log2_exact(geo_.mapping_unit_bytes() / geo_.line_bytes);
   ch_bits_ = log2_exact(geo_.channels);
   col_bits_ = log2_exact(geo_.lines_per_row());
   bank_bits_ = log2_exact(geo_.banks_per_rank);
@@ -98,19 +112,27 @@ DecodedAddr AddressDecoder::decode(Addr addr) const {
   DecodedAddr d;
   d.addr = addr;
   unsigned shift = off_bits_;
+  // The mapping unit keeps `unit_bits_` low column bits below the channel
+  // bits: a whole unit of consecutive lines stays on one channel before the
+  // stripe advances. unit_bits_ == 0 reproduces the per-line stripe.
+  const std::uint64_t low_col = bits(addr, shift, unit_bits_);
+  shift += unit_bits_;
+  const unsigned hi_col_bits = col_bits_ - unit_bits_;
   d.channel = bits(addr, shift, ch_bits_);
   shift += ch_bits_;
+  std::uint64_t hi_col = 0;
   if (mapping_ == AddressMapping::kBankInterleaved) {
     d.bank = bits(addr, shift, bank_bits_);
     shift += bank_bits_;
-    d.col = bits(addr, shift, col_bits_);
-    shift += col_bits_;
+    hi_col = bits(addr, shift, hi_col_bits);
+    shift += hi_col_bits;
   } else {
-    d.col = bits(addr, shift, col_bits_);
-    shift += col_bits_;
+    hi_col = bits(addr, shift, hi_col_bits);
+    shift += hi_col_bits;
     d.bank = bits(addr, shift, bank_bits_);
     shift += bank_bits_;
   }
+  d.col = low_col | (hi_col << unit_bits_);
   d.rank = bits(addr, shift, rank_bits_);
   shift += rank_bits_;
   d.row = bits(addr, shift, row_bits_);
@@ -143,16 +165,21 @@ Addr AddressDecoder::encode(std::uint64_t channel, std::uint64_t rank,
   }
   Addr addr = 0;
   unsigned shift = off_bits_;
+  const unsigned hi_col_bits = col_bits_ - unit_bits_;
+  const std::uint64_t low_col = col & mask(unit_bits_);
+  const std::uint64_t hi_col = (col >> unit_bits_) & mask(hi_col_bits);
+  addr |= low_col << shift;
+  shift += unit_bits_;
   addr |= (channel & mask(ch_bits_)) << shift;
   shift += ch_bits_;
   if (mapping_ == AddressMapping::kBankInterleaved) {
     addr |= (bank & mask(bank_bits_)) << shift;
     shift += bank_bits_;
-    addr |= (col & mask(col_bits_)) << shift;
-    shift += col_bits_;
+    addr |= hi_col << shift;
+    shift += hi_col_bits;
   } else {
-    addr |= (col & mask(col_bits_)) << shift;
-    shift += col_bits_;
+    addr |= hi_col << shift;
+    shift += hi_col_bits;
     addr |= (bank & mask(bank_bits_)) << shift;
     shift += bank_bits_;
   }

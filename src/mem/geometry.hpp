@@ -25,9 +25,15 @@ struct MemGeometry {
   std::uint64_t line_bytes = 64;    // cache-line / column-access granularity
   std::uint64_t num_sags = 1;       // subarray groups (1 == baseline bank)
   std::uint64_t num_cds = 1;        // column divisions (1 == baseline bank)
+  /// Channel-striping granularity (MQSim-style fine-grained mapping): how
+  /// many contiguous bytes land on one channel before the stripe moves to
+  /// the next. 0 means line_bytes (stripe per cache line — the historical
+  /// layout). Must be a power of two in [line_bytes, row_bytes].
+  std::uint64_t mapping_unit = 0;
 
   /// Builds from a Config (keys: channels, ranks, banks, rows, row_bytes,
-  /// line_bytes, sags, cds). Throws std::runtime_error if invalid.
+  /// line_bytes, sags, cds, mapping_unit). Throws std::runtime_error if
+  /// invalid.
   static MemGeometry from_config(const Config& cfg);
 
   /// Validates the power-of-two and divisibility invariants; throws
@@ -35,6 +41,9 @@ struct MemGeometry {
   void validate() const;
 
   std::uint64_t lines_per_row() const { return row_bytes / line_bytes; }
+  std::uint64_t mapping_unit_bytes() const {
+    return mapping_unit == 0 ? line_bytes : mapping_unit;
+  }
   std::uint64_t rows_per_sag() const { return rows_per_bank / num_sags; }
   std::uint64_t total_banks() const {
     return channels * ranks_per_channel * banks_per_rank;
@@ -75,13 +84,16 @@ struct DecodedAddr {
   }
 };
 
-/// How physical address bits map onto the hierarchy.
+/// How physical address bits map onto the hierarchy. With a mapping_unit
+/// above line_bytes, log2(unit / line) low column bits move below the
+/// channel bits — consecutive lines stay on one channel for a whole unit
+/// before the stripe advances — in every mapping.
 enum class AddressMapping : std::uint8_t {
-  /// [offset][channel][column][bank][rank][row] — consecutive lines walk a
-  /// row (open-page friendly); banks change at row-size strides.
+  /// [offset][unit][channel][column][bank][rank][row] — consecutive lines
+  /// walk a row (open-page friendly); banks change at row-size strides.
   kRowInterleaved,
-  /// [offset][channel][bank][column][rank][row] — consecutive lines stripe
-  /// across banks (bank-parallel, row locality sacrificed).
+  /// [offset][unit][channel][bank][column][rank][row] — consecutive units
+  /// stripe across banks (bank-parallel, row locality sacrificed).
   kBankInterleaved,
   /// Row-interleaved, but the bank index is XOR-folded with low row bits
   /// (permutation-based mapping, Zhang et al.): preserves row runs while
@@ -114,6 +126,7 @@ class AddressDecoder {
   MemGeometry geo_;
   AddressMapping mapping_;
   unsigned off_bits_;
+  unsigned unit_bits_;  // low column bits striped below the channel bits
   unsigned ch_bits_;
   unsigned col_bits_;
   unsigned bank_bits_;

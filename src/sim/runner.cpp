@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/wake_calendar.hpp"
+
 namespace fgnvm::sim {
 
 double RunResult::energy_per_op_pj() const {
@@ -58,6 +60,71 @@ bool paranoid_mode() {
 
 bool event_skip(LoopMode mode) {
   return mode != LoopMode::kCycleAccurate;
+}
+
+/// FGNVM_WAKE_CALENDAR=0 selects the legacy per-iteration min-scan wake
+/// schedule in the multiprogrammed skip loop; anything else (including
+/// unset) selects the indexed wake calendar. Both are bit-identical; the
+/// switch exists for A/B measurement and as a paranoid oracle.
+bool wake_calendar_enabled() {
+  const char* env = std::getenv("FGNVM_WAKE_CALENDAR");
+  return env == nullptr || env[0] == '\0' ||
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Reusable per-thread arena for the multiprogrammed loops (sized once per
+/// run, capacity retained across runs so repeated sweep configs don't churn
+/// allocations). SoA layout: each array is indexed by dense core id.
+struct RunnerScratch {
+  // Completion routing: per-core buckets plus the list of cores whose
+  // bucket is non-empty since the last drain (so clearing is O(touched),
+  // not O(cores)).
+  std::vector<std::vector<mem::MemRequest>> per_core;
+  std::vector<std::uint32_t> touched;
+  std::vector<mem::MemRequest> done;
+
+  std::vector<Cycle> due;                  // legacy scan / bp probe dues
+  std::vector<Cycle> synced;               // first cycle not yet executed
+  std::vector<cpu::RobCpu::Action> acts;   // last classified action
+  std::vector<std::uint8_t> woken;         // legacy scan wake flags
+  std::vector<std::uint8_t> stamp;         // calendar woken-set dedup
+  std::vector<std::uint32_t> woken_list;   // calendar woken set (sorted)
+  std::vector<std::uint32_t> due_now;      // calendar collect_due output
+  std::vector<std::uint32_t> bp_list;      // dense backpressured-core list
+  std::vector<std::uint32_t> bp_pos;       // core -> bp_list index or npos
+  WakeCalendar calendar;
+
+  static constexpr std::uint32_t kNpos = ~std::uint32_t{0};
+
+  void prepare(std::size_t n, std::size_t bucket_reserve) {
+    if (per_core.size() < n) per_core.resize(n);
+    for (std::size_t i = 0; i < n; ++i) per_core[i].clear();
+    // The old per-call code reserved every bucket at the full drain bound;
+    // keep that for small core counts, let growth amortize (and persist
+    // across runs) at thousand-core scale where n * bound would dominate.
+    if (n <= 64 && bucket_reserve > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        per_core[i].reserve(bucket_reserve);
+      }
+    }
+    touched.clear();
+    done.clear();
+    due.assign(n, 0);
+    synced.assign(n, 0);
+    acts.assign(n, cpu::RobCpu::Action{});
+    woken.assign(n, 0);
+    stamp.assign(n, 0);
+    woken_list.clear();
+    due_now.clear();
+    bp_list.clear();
+    bp_pos.assign(n, kNpos);
+  }
+};
+
+RunnerScratch& runner_scratch() {
+  // thread_local: SweepRunner drives these loops from a worker pool.
+  thread_local RunnerScratch s;
+  return s;
 }
 
 [[noreturn]] void throw_mismatch(const std::string& what,
@@ -135,14 +202,15 @@ class Differ {
 
 // ------------------------------------------------------------ loop bodies
 
-RunResult run_workload_loop(const trace::Trace& trace,
+RunResult run_workload_loop(trace::RecordSource& source,
                             const SystemFactory& make_system,
                             const cpu::CpuParams& cpu_params,
                             Cycle max_mem_cycles, bool skip) {
   const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
   sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
-  cpu::RobCpu core(trace, cpu_params, mem);
+  source.reset();  // paranoid double-runs replay the same stream
+  cpu::RobCpu core(source, cpu_params, mem);
   if (obs::Observer* o = mem.observer()) {
     o->set_instruction_source([&core] { return core.instructions_retired(); });
   }
@@ -153,7 +221,7 @@ RunResult run_workload_loop(const trace::Trace& trace,
   while (!core.finished() || !mem.idle()) {
     if (t >= max_mem_cycles) {
       throw std::runtime_error("run_workload: exceeded max_mem_cycles on " +
-                               trace.name + " / " + mem.config().name);
+                               source.name() + " / " + mem.config().name);
     }
     mem.drain_completed(done);
     core.complete(done);
@@ -209,7 +277,7 @@ RunResult run_workload_loop(const trace::Trace& trace,
     t = next;
   }
 
-  RunResult r = finalize(trace.name, mem, t);
+  RunResult r = finalize(source.name(), mem, t);
   r.instructions = core.instructions_retired();
   r.cpu_cycles = core.cpu_cycles();
   r.ipc = core.ipc();
@@ -219,16 +287,18 @@ RunResult run_workload_loop(const trace::Trace& trace,
 }
 
 MultiProgramResult run_multiprogrammed_loop(
-    const std::vector<trace::Trace>& traces, const SystemFactory& make_system,
-    const cpu::CpuParams& cpu_params, Cycle max_mem_cycles, bool skip) {
+    const std::vector<trace::RecordSource*>& sources,
+    const SystemFactory& make_system, const cpu::CpuParams& cpu_params,
+    Cycle max_mem_cycles, bool skip, bool use_calendar) {
   const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
   sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
   std::vector<std::unique_ptr<cpu::RobCpu>> cores;
-  cores.reserve(traces.size());
-  for (std::size_t i = 0; i < traces.size(); ++i) {
+  cores.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i]->reset();  // every loop run replays the stream from the top
     cores.push_back(
-        std::make_unique<cpu::RobCpu>(traces[i], cpu_params, mem, i));
+        std::make_unique<cpu::RobCpu>(*sources[i], cpu_params, mem, i));
   }
   if (obs::Observer* o = mem.observer()) {
     o->set_instruction_source([&cores] {
@@ -238,21 +308,22 @@ MultiProgramResult run_multiprogrammed_loop(
     });
   }
 
-  std::vector<mem::MemRequest> done;
-  // Completions routed by cpu_tag, so each core scans only its own requests
-  // instead of every core scanning the full drain. Reserved up front: the
-  // per-drain read count is bounded by the per-channel read queue capacity.
-  std::vector<std::vector<mem::MemRequest>> per_core(cores.size());
-  for (auto& bucket : per_core) {
-    bucket.reserve(mem.config().controller.read_queue_cap * mem.channels());
-  }
+  const std::size_t n = cores.size();
+  // Per-core runner state lives in a reusable per-thread arena (completion
+  // buckets, due/synced/action arrays, the wake calendar), sized once here
+  // and recycled across runs.
+  RunnerScratch& scratch = runner_scratch();
+  scratch.prepare(n, mem.config().controller.read_queue_cap * mem.channels());
+  std::vector<mem::MemRequest>& done = scratch.done;
+  std::vector<std::vector<mem::MemRequest>>& per_core = scratch.per_core;
+
   const auto build_result = [&](Cycle mem_cycles) {
     MultiProgramResult r;
     r.mem_cycles = mem_cycles;
     r.energy = mem.energy(mem_cycles);
     r.controller = mem.controller_stats();
     for (std::size_t i = 0; i < cores.size(); ++i) {
-      r.workloads.push_back(traces[i].name);
+      r.workloads.push_back(sources[i]->name());
       r.ipc.push_back(cores[i]->ipc());
       r.cpu_cycles.push_back(cores[i]->cpu_cycles());
     }
@@ -264,12 +335,20 @@ MultiProgramResult run_multiprogrammed_loop(
     r.obs = mem.observer_ptr();
     return r;
   };
+  // Completions routed by cpu_tag, so each core scans only its own
+  // requests instead of every core scanning the full drain. `touched`
+  // lists the non-empty buckets, so clearing costs O(touched) rather than
+  // O(cores) per drain.
   const auto route_completions = [&]() {
+    for (const std::uint32_t i : scratch.touched) per_core[i].clear();
+    scratch.touched.clear();
     mem.drain_completed(done);
     if (done.empty()) return false;
-    for (auto& bucket : per_core) bucket.clear();
     for (const mem::MemRequest& r : done) {
-      if (r.is_read() && r.cpu_tag < per_core.size()) {
+      if (r.is_read() && r.cpu_tag < n) {
+        if (per_core[r.cpu_tag].empty()) {
+          scratch.touched.push_back(static_cast<std::uint32_t>(r.cpu_tag));
+        }
         per_core[r.cpu_tag].push_back(r);
       }
     }
@@ -311,15 +390,12 @@ MultiProgramResult run_multiprogrammed_loop(
   // With an observer attached every unfinished core is woken each
   // iteration, so the instruction source reads exact values at every
   // sampled epoch.
-  using Action = cpu::RobCpu::Action;
   using ActionKind = cpu::RobCpu::ActionKind;
   const bool windows = mem.lazy_scheduling();
   const bool lazy_cores = mem.observer() == nullptr;
-  const std::size_t n = cores.size();
-  std::vector<Cycle> due(n, 0);
-  std::vector<Cycle> synced(n, 0);
-  std::vector<Action> acts(n);
-  std::vector<std::uint8_t> woken(n, 0);
+  std::vector<Cycle>& due = scratch.due;
+  std::vector<Cycle>& synced = scratch.synced;
+  std::vector<cpu::RobCpu::Action>& acts = scratch.acts;
   std::size_t unfinished = n;
   const auto catch_up = [&](std::size_t i, Cycle c) {
     if (synced[i] < c) {
@@ -327,6 +403,159 @@ MultiProgramResult run_multiprogrammed_loop(
       synced[i] = c;
     }
   };
+
+  if (lazy_cores && use_calendar) {
+    // Wake-calendar schedule (DESIGN.md §16): cores are partitioned into
+    //  * armed   — next action is a known submission cycle; indexed in the
+    //    calendar, woken by collect_due(t);
+    //  * blocked — backpressured at their next record; kept in a dense
+    //    `bp_list` and re-probed every iteration (another core's submission
+    //    can pull the blocked channel's tick earlier, so their due cycles
+    //    are not stable enough to index);
+    //  * stalled — wake only on a read completion; tracked nowhere.
+    // An iteration touches O(woken + backpressured) cores instead of
+    // O(cores). Bit-identity with the legacy full scan below: the woken
+    // set is identical ({completion-touched} ∪ {due <= t}), processed in
+    // the same ascending core order (submission order feeds the memory
+    // side), with the same re-arm and probe rules.
+    WakeCalendar& cal = scratch.calendar;
+    cal.reset(n);
+    std::vector<std::uint32_t>& woken_list = scratch.woken_list;
+    std::vector<std::uint32_t>& due_now = scratch.due_now;
+    std::vector<std::uint8_t>& stamp = scratch.stamp;
+    std::vector<std::uint32_t>& bp_list = scratch.bp_list;
+    std::vector<std::uint32_t>& bp_pos = scratch.bp_pos;
+    constexpr std::uint32_t kNpos = RunnerScratch::kNpos;
+    const auto bp_remove = [&](std::uint32_t i) {
+      const std::uint32_t pos = bp_pos[i];
+      if (pos == kNpos) return;
+      const std::uint32_t last = bp_list.back();
+      bp_list[pos] = last;
+      bp_pos[last] = pos;
+      bp_list.pop_back();
+      bp_pos[i] = kNpos;
+    };
+    // Everyone starts due at cycle 0 (the legacy loop's due[] = 0 init).
+    for (std::uint32_t i = 0; i < n; ++i) cal.schedule(i, 0);
+
+    Cycle t = 0;
+    while (unfinished > 0 || !mem.idle()) {
+      if (t >= max_mem_cycles) {
+        throw std::runtime_error(
+            "run_multiprogrammed: exceeded max_mem_cycles");
+      }
+      route_completions();
+      woken_list.clear();
+      for (const std::uint32_t i : scratch.touched) {
+        if (!cores[i]->finished() && !stamp[i]) {
+          stamp[i] = 1;
+          woken_list.push_back(i);
+        }
+      }
+      due_now.clear();
+      cal.collect_due(t, due_now);
+      for (const std::uint32_t i : due_now) {
+        if (!cores[i]->finished() && !stamp[i]) {
+          stamp[i] = 1;
+          woken_list.push_back(i);
+        }
+      }
+      for (const std::uint32_t i : bp_list) {
+        if (due[i] <= t && !stamp[i]) {
+          stamp[i] = 1;
+          woken_list.push_back(i);
+        }
+      }
+      std::sort(woken_list.begin(), woken_list.end());
+      for (const std::uint32_t i : woken_list) {
+        stamp[i] = 0;
+        // A completion invalidates the cached action (retirement unblocks,
+        // so the core may reach its next record sooner); catch up to the
+        // present first so the answered flag lands in a state identical to
+        // eager.
+        if (!per_core[i].empty()) {
+          catch_up(i, t);
+          cores[i]->complete(per_core[i]);
+        }
+        catch_up(i, t);
+        cores[i]->tick_mem_cycle(t);
+        synced[i] = t + 1;
+      }
+      mem.tick(t);
+      for (const std::uint32_t i : woken_list) {
+        if (cores[i]->finished()) {
+          --unfinished;
+          cal.cancel(i);
+          bp_remove(i);
+          acts[i].kind = ActionKind::kStalled;
+          continue;
+        }
+        acts[i] = cores[i]->next_action(t + 1);
+        if (acts[i].kind == ActionKind::kActs) {
+          cal.schedule(i, acts[i].cycle);
+          bp_remove(i);
+        } else if (acts[i].kind == ActionKind::kBackpressured) {
+          cal.cancel(i);
+          if (bp_pos[i] == kNpos) {
+            bp_pos[i] = static_cast<std::uint32_t>(bp_list.size());
+            bp_list.push_back(i);
+          }
+        } else {  // kStalled: only a read completion can wake it
+          cal.cancel(i);
+          bp_remove(i);
+        }
+      }
+      // Refresh every backpressured core (woken or not): a tick this very
+      // cycle may already have freed space — probe can_accept so the wake
+      // lands on the first acceptable cycle.
+      Cycle bp_min = kNeverCycle;
+      for (const std::uint32_t i : bp_list) {
+        if (mem.can_accept(acts[i].addr, acts[i].op)) {
+          due[i] = t + 1;
+        } else if (windows) {
+          due[i] = std::max(mem.accept_event(acts[i].addr), t + 1);
+        } else {
+          due[i] = t + 1;
+        }
+        bp_min = std::min(bp_min, due[i]);
+      }
+      const Cycle min_due = std::min(cal.min_due(), bp_min);
+      Cycle next = t + 1;
+      bool advanced = false;
+      if (windows) {
+        // Windowed advance: run every channel along its own event chain up
+        // to the earliest cycle any core could be disturbed or act. Valid
+        // bounds only — during pure write drain with every core stalled or
+        // finished, fall through to the event path so the final mem_cycles
+        // matches the per-event schedule.
+        const Cycle horizon = std::min(mem.completion_bound(t), min_due);
+        if (horizon != kNeverCycle &&
+            std::min(horizon, max_mem_cycles) > next) {
+          next = std::min(horizon, max_mem_cycles);
+          mem.advance_channels_to(next);
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        const Cycle event = std::min(mem.next_event(t), min_due);
+        if (event > next && event != kNeverCycle) {
+          next = std::min(event, max_mem_cycles);
+        }
+      }
+      // next <= min_due (both branches bound by it), so the calendar base
+      // never jumps past an armed wake.
+      cal.advance_to(next);
+      t = next;
+    }
+    return build_result(t);
+  }
+
+  // Legacy full-scan schedule: O(cores) due min-reduction and woken sweep
+  // per iteration. Retained as the FGNVM_WAKE_CALENDAR=0 A/B variant and
+  // the paranoid differential oracle for the calendar above; also the
+  // observer-mode path (an observer wakes every core each iteration, so an
+  // index buys nothing).
+  std::vector<std::uint8_t>& woken = scratch.woken;
 
   Cycle t = 0;
   while (unfinished > 0 || !mem.idle()) {
@@ -420,36 +649,33 @@ MultiProgramResult run_multiprogrammed_loop(
   return build_result(t);
 }
 
-RunResult run_memory_only_loop(const trace::Trace& trace,
+RunResult run_memory_only_loop(trace::RecordSource& source,
                                const SystemFactory& make_system,
                                Cycle max_mem_cycles, bool skip) {
   const std::unique_ptr<sys::MemorySystem> mem_ptr = make_system();
   sys::MemorySystem& mem = *mem_ptr;
   if (!skip) mem.set_eager_ticking(true);
   const bool windows = skip && mem.lazy_scheduling();
-  std::size_t next_rec = 0;
+  source.reset();
+  trace::TraceRecord rec;
+  bool pending = source.next(rec);
   std::vector<mem::MemRequest> done;
 
   Cycle t = 0;
-  while (next_rec < trace.records.size() || !mem.idle()) {
+  while (pending || !mem.idle()) {
     if (t >= max_mem_cycles) {
       throw std::runtime_error("run_memory_only: exceeded max_mem_cycles on " +
-                               trace.name + " / " + mem.config().name);
+                               source.name() + " / " + mem.config().name);
     }
     mem.drain_completed(done);
-    while (next_rec < trace.records.size() &&
-           mem.can_accept(trace.records[next_rec].addr,
-                          trace.records[next_rec].op)) {
-      mem.submit(trace.records[next_rec].addr, trace.records[next_rec].op, t);
-      ++next_rec;
+    while (pending && mem.can_accept(rec.addr, rec.op)) {
+      mem.submit(rec.addr, rec.op, t);
+      pending = source.next(rec);
     }
     mem.tick(t);
     Cycle next = t + 1;
     if (skip) {
-      const bool blocked =
-          next_rec >= trace.records.size() ||
-          !mem.can_accept(trace.records[next_rec].addr,
-                          trace.records[next_rec].op);
+      const bool blocked = !pending || !mem.can_accept(rec.addr, rec.op);
       if (blocked) {
         bool advanced = false;
         // Windowed advance: the next record is blocked on its target
@@ -462,11 +688,9 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
         // bit for bit. After trace exhaustion, stick to the event path so
         // the final drain-out cycle (and hence mem_cycles) matches the
         // per-event schedule.
-        if (windows && next_rec < trace.records.size()) {
+        if (windows && pending) {
           const Cycle resume =
-              mem.advance_until_accept(trace.records[next_rec].addr,
-                                       trace.records[next_rec].op,
-                                       max_mem_cycles);
+              mem.advance_until_accept(rec.addr, rec.op, max_mem_cycles);
           if (std::min(resume, max_mem_cycles) > next) {
             next = std::min(resume, max_mem_cycles);
             mem.advance_channels_to(next);
@@ -483,7 +707,7 @@ RunResult run_memory_only_loop(const trace::Trace& trace,
     }
     t = next;
   }
-  return finalize(trace.name, mem, t);
+  return finalize(source.name(), mem, t);
 }
 
 }  // namespace
@@ -563,19 +787,19 @@ SystemFactory hybrid_factory(const sys::HybridSystemConfig& sys_cfg) {
   };
 }
 
-RunResult run_workload_impl(const trace::Trace& trace,
+RunResult run_workload_impl(trace::RecordSource& source,
                             const SystemFactory& make_system,
                             const std::string& label,
                             const cpu::CpuParams& cpu_params,
                             Cycle max_mem_cycles, LoopMode mode) {
-  RunResult r = run_workload_loop(trace, make_system, cpu_params,
+  RunResult r = run_workload_loop(source, make_system, cpu_params,
                                   max_mem_cycles, event_skip(mode));
   if (mode == LoopMode::kAuto && paranoid_mode()) {
-    const RunResult ref = run_workload_loop(trace, make_system, cpu_params,
+    const RunResult ref = run_workload_loop(source, make_system, cpu_params,
                                             max_mem_cycles, /*skip=*/false);
     const std::string diff = diff_results(ref, r);
     if (!diff.empty()) {
-      throw_mismatch(trace.name + " / " + label, diff);
+      throw_mismatch(source.name() + " / " + label, diff);
     }
   }
   return r;
@@ -587,7 +811,8 @@ RunResult run_workload(const trace::Trace& trace,
                        const sys::SystemConfig& sys_cfg,
                        const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
                        LoopMode mode) {
-  return run_workload_impl(trace, plain_factory(sys_cfg), sys_cfg.name,
+  trace::TraceSource source(trace);
+  return run_workload_impl(source, plain_factory(sys_cfg), sys_cfg.name,
                            cpu_params, max_mem_cycles, mode);
 }
 
@@ -595,7 +820,24 @@ RunResult run_workload(const trace::Trace& trace,
                        const sys::HybridSystemConfig& sys_cfg,
                        const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
                        LoopMode mode) {
-  return run_workload_impl(trace, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
+  trace::TraceSource source(trace);
+  return run_workload_impl(source, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
+                           cpu_params, max_mem_cycles, mode);
+}
+
+RunResult run_workload(trace::RecordSource& source,
+                       const sys::SystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
+                       LoopMode mode) {
+  return run_workload_impl(source, plain_factory(sys_cfg), sys_cfg.name,
+                           cpu_params, max_mem_cycles, mode);
+}
+
+RunResult run_workload(trace::RecordSource& source,
+                       const sys::HybridSystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params, Cycle max_mem_cycles,
+                       LoopMode mode) {
+  return run_workload_impl(source, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
                            cpu_params, max_mem_cycles, mode);
 }
 
@@ -611,40 +853,114 @@ double MultiProgramResult::weighted_speedup(
   return ws;
 }
 
+std::vector<double> MultiProgramResult::slowdowns(
+    const std::vector<double>& alone) const {
+  if (alone.size() != ipc.size()) {
+    throw std::invalid_argument("slowdowns: arity mismatch");
+  }
+  std::vector<double> s(ipc.size(), 0.0);
+  for (std::size_t i = 0; i < ipc.size(); ++i) {
+    if (alone[i] > 0 && ipc[i] > 0) s[i] = alone[i] / ipc[i];
+  }
+  return s;
+}
+
+double MultiProgramResult::max_slowdown(
+    const std::vector<double>& alone) const {
+  double m = 0.0;
+  for (const double s : slowdowns(alone)) m = std::max(m, s);
+  return m;
+}
+
+double MultiProgramResult::fairness(const std::vector<double>& alone) const {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const double s : slowdowns(alone)) {
+    if (s <= 0) continue;
+    lo = first ? s : std::min(lo, s);
+    hi = first ? s : std::max(hi, s);
+    first = false;
+  }
+  return hi > 0 ? lo / hi : 0.0;
+}
+
+double MultiProgramResult::harmonic_speedup(
+    const std::vector<double>& alone) const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const double s : slowdowns(alone)) {
+    if (s <= 0) continue;
+    sum += s;
+    ++counted;
+  }
+  return sum > 0 ? static_cast<double>(counted) / sum : 0.0;
+}
+
 namespace {
 
 MultiProgramResult run_multiprogrammed_impl(
-    const std::vector<trace::Trace>& traces, const SystemFactory& make_system,
-    const std::string& label, const cpu::CpuParams& cpu_params,
-    Cycle max_mem_cycles, LoopMode mode) {
-  if (traces.empty()) {
+    const std::vector<trace::RecordSource*>& sources,
+    const SystemFactory& make_system, const std::string& label,
+    const cpu::CpuParams& cpu_params, Cycle max_mem_cycles, LoopMode mode) {
+  if (sources.empty()) {
     throw std::invalid_argument("run_multiprogrammed: no traces");
   }
-  MultiProgramResult r = run_multiprogrammed_loop(
-      traces, make_system, cpu_params, max_mem_cycles, event_skip(mode));
+  const bool use_calendar = wake_calendar_enabled();
+  MultiProgramResult r =
+      run_multiprogrammed_loop(sources, make_system, cpu_params,
+                               max_mem_cycles, event_skip(mode), use_calendar);
   if (mode == LoopMode::kAuto && paranoid_mode()) {
-    const MultiProgramResult ref = run_multiprogrammed_loop(
-        traces, make_system, cpu_params, max_mem_cycles, /*skip=*/false);
+    // Tri-oracle: the primary skip run must match both the cycle-accurate
+    // reference and the other wake-schedule variant (calendar vs. legacy
+    // scan), so the calendar is differentially checked on every paranoid
+    // run regardless of FGNVM_WAKE_CALENDAR.
+    const MultiProgramResult ref =
+        run_multiprogrammed_loop(sources, make_system, cpu_params,
+                                 max_mem_cycles, /*skip=*/false, use_calendar);
     const std::string diff = diff_results(ref, r);
     if (!diff.empty()) {
       throw_mismatch("multiprogram / " + label, diff);
+    }
+    const MultiProgramResult alt = run_multiprogrammed_loop(
+        sources, make_system, cpu_params, max_mem_cycles, /*skip=*/true,
+        !use_calendar);
+    const std::string wake_diff = diff_results(alt, r);
+    if (!wake_diff.empty()) {
+      throw std::runtime_error(
+          "FGNVM_PARANOID: wake-calendar and legacy-scan runs of "
+          "multiprogram / " +
+          label + " diverged: " + wake_diff);
     }
   }
   return r;
 }
 
-RunResult run_memory_only_impl(const trace::Trace& trace,
+MultiProgramResult run_multiprogrammed_traces_impl(
+    const std::vector<trace::Trace>& traces, const SystemFactory& make_system,
+    const std::string& label, const cpu::CpuParams& cpu_params,
+    Cycle max_mem_cycles, LoopMode mode) {
+  std::vector<trace::TraceSource> cursors;
+  cursors.reserve(traces.size());
+  for (const trace::Trace& t : traces) cursors.emplace_back(t);
+  std::vector<trace::RecordSource*> sources;
+  sources.reserve(cursors.size());
+  for (trace::TraceSource& c : cursors) sources.push_back(&c);
+  return run_multiprogrammed_impl(sources, make_system, label, cpu_params,
+                                  max_mem_cycles, mode);
+}
+
+RunResult run_memory_only_impl(trace::RecordSource& source,
                                const SystemFactory& make_system,
                                const std::string& label, Cycle max_mem_cycles,
                                LoopMode mode) {
-  RunResult r = run_memory_only_loop(trace, make_system, max_mem_cycles,
+  RunResult r = run_memory_only_loop(source, make_system, max_mem_cycles,
                                      event_skip(mode));
   if (mode == LoopMode::kAuto && paranoid_mode()) {
-    const RunResult ref = run_memory_only_loop(trace, make_system,
+    const RunResult ref = run_memory_only_loop(source, make_system,
                                                max_mem_cycles, /*skip=*/false);
     const std::string diff = diff_results(ref, r);
     if (!diff.empty()) {
-      throw_mismatch(trace.name + " / " + label + " (memory-only)", diff);
+      throw_mismatch(source.name() + " / " + label + " (memory-only)", diff);
     }
   }
   return r;
@@ -656,31 +972,66 @@ MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
                                        const sys::SystemConfig& sys_cfg,
                                        const cpu::CpuParams& cpu_params,
                                        Cycle max_mem_cycles, LoopMode mode) {
-  return run_multiprogrammed_impl(traces, plain_factory(sys_cfg), sys_cfg.name,
-                                  cpu_params, max_mem_cycles, mode);
+  return run_multiprogrammed_traces_impl(traces, plain_factory(sys_cfg),
+                                         sys_cfg.name, cpu_params,
+                                         max_mem_cycles, mode);
 }
 
 MultiProgramResult run_multiprogrammed(const std::vector<trace::Trace>& traces,
                                        const sys::HybridSystemConfig& sys_cfg,
                                        const cpu::CpuParams& cpu_params,
                                        Cycle max_mem_cycles, LoopMode mode) {
-  return run_multiprogrammed_impl(traces, hybrid_factory(sys_cfg),
-                                  sys_cfg.nvm.name, cpu_params, max_mem_cycles,
+  return run_multiprogrammed_traces_impl(traces, hybrid_factory(sys_cfg),
+                                         sys_cfg.nvm.name, cpu_params,
+                                         max_mem_cycles, mode);
+}
+
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::RecordSource*>& sources,
+    const sys::SystemConfig& sys_cfg, const cpu::CpuParams& cpu_params,
+    Cycle max_mem_cycles, LoopMode mode) {
+  return run_multiprogrammed_impl(sources, plain_factory(sys_cfg),
+                                  sys_cfg.name, cpu_params, max_mem_cycles,
                                   mode);
+}
+
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::RecordSource*>& sources,
+    const sys::HybridSystemConfig& sys_cfg, const cpu::CpuParams& cpu_params,
+    Cycle max_mem_cycles, LoopMode mode) {
+  return run_multiprogrammed_impl(sources, hybrid_factory(sys_cfg),
+                                  sys_cfg.nvm.name, cpu_params,
+                                  max_mem_cycles, mode);
 }
 
 RunResult run_memory_only(const trace::Trace& trace,
                           const sys::SystemConfig& sys_cfg,
                           Cycle max_mem_cycles, LoopMode mode) {
-  return run_memory_only_impl(trace, plain_factory(sys_cfg), sys_cfg.name,
+  trace::TraceSource source(trace);
+  return run_memory_only_impl(source, plain_factory(sys_cfg), sys_cfg.name,
                               max_mem_cycles, mode);
 }
 
 RunResult run_memory_only(const trace::Trace& trace,
                           const sys::HybridSystemConfig& sys_cfg,
                           Cycle max_mem_cycles, LoopMode mode) {
-  return run_memory_only_impl(trace, hybrid_factory(sys_cfg), sys_cfg.nvm.name,
+  trace::TraceSource source(trace);
+  return run_memory_only_impl(source, hybrid_factory(sys_cfg),
+                              sys_cfg.nvm.name, max_mem_cycles, mode);
+}
+
+RunResult run_memory_only(trace::RecordSource& source,
+                          const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles, LoopMode mode) {
+  return run_memory_only_impl(source, plain_factory(sys_cfg), sys_cfg.name,
                               max_mem_cycles, mode);
+}
+
+RunResult run_memory_only(trace::RecordSource& source,
+                          const sys::HybridSystemConfig& sys_cfg,
+                          Cycle max_mem_cycles, LoopMode mode) {
+  return run_memory_only_impl(source, hybrid_factory(sys_cfg),
+                              sys_cfg.nvm.name, max_mem_cycles, mode);
 }
 
 }  // namespace fgnvm::sim

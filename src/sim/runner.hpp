@@ -13,6 +13,7 @@
 #include "obs/observer.hpp"
 #include "sys/hybrid.hpp"
 #include "sys/memory_system.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace fgnvm::sim {
@@ -71,6 +72,20 @@ RunResult run_workload(const trace::Trace& trace,
                        Cycle max_mem_cycles = 500'000'000,
                        LoopMode mode = LoopMode::kAuto);
 
+/// Record-source variant: feeds the core from any RecordSource (a streamed
+/// FGS1 trace, a shared-Trace cursor, ...). The source is reset() before
+/// each loop run, so paranoid double-runs replay the identical stream.
+RunResult run_workload(trace::RecordSource& source,
+                       const sys::SystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params = {},
+                       Cycle max_mem_cycles = 500'000'000,
+                       LoopMode mode = LoopMode::kAuto);
+RunResult run_workload(trace::RecordSource& source,
+                       const sys::HybridSystemConfig& sys_cfg,
+                       const cpu::CpuParams& cpu_params = {},
+                       Cycle max_mem_cycles = 500'000'000,
+                       LoopMode mode = LoopMode::kAuto);
+
 /// Memory-only closed-loop run: submits the trace as fast as backpressure
 /// allows. Measures achievable bandwidth and service latency without a core
 /// model. `instructions` and `ipc` are zero in the result.
@@ -105,6 +120,18 @@ struct MultiProgramResult {
   /// Sum over cores of shared_ipc / alone_ipc (the usual weighted-speedup
   /// metric); `alone` must be same-order per-core isolated IPCs.
   double weighted_speedup(const std::vector<double>& alone) const;
+
+  /// Per-tenant slowdown alone_ipc / shared_ipc (>= 1 under contention);
+  /// `alone` must be same-order per-core isolated IPCs. Cores with a
+  /// non-positive alone or shared IPC report 0.
+  std::vector<double> slowdowns(const std::vector<double>& alone) const;
+  /// Largest per-tenant slowdown (the QoS worst case).
+  double max_slowdown(const std::vector<double>& alone) const;
+  /// min/max slowdown in [0, 1]: 1 means perfectly even degradation.
+  double fairness(const std::vector<double>& alone) const;
+  /// Harmonic mean of per-core speedups, n / sum(slowdown_i) — the
+  /// fairness-weighted counterpart of weighted_speedup.
+  double harmonic_speedup(const std::vector<double>& alone) const;
 };
 
 /// Runs one trace per core against a shared memory system. Cores that
@@ -122,6 +149,38 @@ MultiProgramResult run_multiprogrammed(
     const sys::HybridSystemConfig& sys_cfg,
     const cpu::CpuParams& cpu_params = {},
     Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
+
+/// Record-source variant of run_multiprogrammed: one source per core.
+/// Sources must be non-null, outlive the call, and are reset() before each
+/// loop run (so several cores may NOT share one source object — use one
+/// TraceSource cursor per core over a shared Trace instead). This is the
+/// thousand-core entry point: per-core memory is the source's window, not
+/// the trace length.
+///
+/// The skip loop's wake schedule is the indexed wake calendar
+/// (src/sim/wake_calendar.hpp); set FGNVM_WAKE_CALENDAR=0 to fall back to
+/// the legacy per-iteration min-scan. Both produce bit-identical results,
+/// and FGNVM_PARANOID cross-checks calendar vs. scan vs. cycle-accurate.
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::RecordSource*>& sources,
+    const sys::SystemConfig& sys_cfg, const cpu::CpuParams& cpu_params = {},
+    Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
+
+MultiProgramResult run_multiprogrammed(
+    const std::vector<trace::RecordSource*>& sources,
+    const sys::HybridSystemConfig& sys_cfg,
+    const cpu::CpuParams& cpu_params = {},
+    Cycle max_mem_cycles = 500'000'000, LoopMode mode = LoopMode::kAuto);
+
+/// Record-source variant of run_memory_only.
+RunResult run_memory_only(trace::RecordSource& source,
+                          const sys::SystemConfig& sys_cfg,
+                          Cycle max_mem_cycles = 500'000'000,
+                          LoopMode mode = LoopMode::kAuto);
+RunResult run_memory_only(trace::RecordSource& source,
+                          const sys::HybridSystemConfig& sys_cfg,
+                          Cycle max_mem_cycles = 500'000'000,
+                          LoopMode mode = LoopMode::kAuto);
 
 /// diff_results for multi-programmed runs.
 std::string diff_results(const MultiProgramResult& a,

@@ -1,6 +1,8 @@
 #include "trace/io.hpp"
 
 #include <algorithm>
+
+#include "trace/stream.hpp"
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -152,6 +154,7 @@ Trace read_trace_any_file(const std::string& path) {
   f.read(magic, 4);
   f.close();
   if (std::memcmp(magic, kMagic, 4) == 0) return read_trace_binary_file(path);
+  if (std::memcmp(magic, "FGS1", 4) == 0) return read_trace_stream_file(path);
   return read_trace_file(path);
 }
 

@@ -29,7 +29,8 @@ void write_trace_binary_file(const std::string& path, const Trace& trace);
 Trace read_trace_binary(std::istream& is);
 Trace read_trace_binary_file(const std::string& path);
 
-/// Reads either format, sniffing the magic bytes.
+/// Reads any trace format (text, FGT1, or FGS1 stream — see
+/// trace/stream.hpp), sniffing the magic bytes.
 Trace read_trace_any_file(const std::string& path);
 
 }  // namespace fgnvm::trace

@@ -1,0 +1,190 @@
+// Streaming trace ingestion (DESIGN.md §16).
+//
+// `RecordSource` is the pull-based abstraction the CPU model consumes: a
+// forward cursor over a record stream plus the whole-trace aggregates the
+// core needs up front (total instructions, op count). A materialized
+// `Trace` adapts via `TraceSource`; `StreamReader` replays the FGS1 on-disk
+// format with memory bounded by a readahead window, so trace length no
+// longer bounds trace size.
+//
+// FGS1 format (little-endian):
+//   magic "FGS1" | u32 version (=1) | u32 name_len | name bytes |
+//   u64 record_count | u64 tail_icount | u64 total_instructions |
+//   records of { u8 len | payload }, payload = u32 icount_gap | u64 addr |
+//   u8 op (read=0/write=1), so len >= 13. Longer records are
+//   forward-compatible: the first 13 payload bytes keep their meaning and
+//   the remainder is skipped. len == 0 or len > kMaxRecordLen is malformed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace fgnvm::trace {
+
+/// Pull-based record stream. Sources are single-cursor: one consumer at a
+/// time; `reset()` rewinds to the first record for a fresh replay (the
+/// paranoid double-run path re-reads the same source).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual std::uint64_t memory_ops() const = 0;
+  virtual std::uint64_t tail_icount() const = 0;
+  /// Total instructions represented including the tail — known up front
+  /// (FGS1 stores it in the header) so the CPU model needs no prescan.
+  virtual std::uint64_t total_instructions() const = 0;
+
+  /// Advances the cursor: fills `out` and returns true, or returns false at
+  /// end of stream (and on every call thereafter until reset()).
+  virtual bool next(TraceRecord& out) = 0;
+  virtual void reset() = 0;
+};
+
+/// Cursor over a materialized Trace. The trace must outlive the source.
+/// Many sources can share one Trace — this is how a 1024-core run replays
+/// one workload per tenant without 1024 copies of the records.
+class TraceSource final : public RecordSource {
+ public:
+  explicit TraceSource(const Trace& trace)
+      : trace_(&trace), total_insts_(trace.total_instructions()) {}
+
+  const std::string& name() const override { return trace_->name; }
+  std::uint64_t memory_ops() const override { return trace_->records.size(); }
+  std::uint64_t tail_icount() const override { return trace_->tail_icount; }
+  std::uint64_t total_instructions() const override { return total_insts_; }
+
+  bool next(TraceRecord& out) override {
+    if (next_ >= trace_->records.size()) return false;
+    out = trace_->records[next_++];
+    return true;
+  }
+  void reset() override { next_ = 0; }
+
+ private:
+  const Trace* trace_;
+  std::uint64_t total_insts_;
+  std::size_t next_ = 0;
+};
+
+constexpr std::uint32_t kStreamVersion = 1;
+constexpr std::size_t kStreamPayloadBytes = 13;  // u32 gap + u64 addr + u8 op
+constexpr std::size_t kMaxRecordLen = 64;        // forward-compat skip bound
+
+struct StreamReaderOptions {
+  /// Readahead window: the most file bytes resident at once (rounded up to
+  /// a whole page plus one page of alignment slack). Must hold the header
+  /// and one record; values below 64 KiB are clamped up.
+  std::size_t window_bytes = 1u << 20;
+  /// Test hook: skip mmap and exercise the buffered-FILE fallback.
+  bool force_buffered = false;
+};
+
+/// mmap-backed FGS1 reader with a bounded residency window: only
+/// `window_bytes` (page-rounded) of the file is mapped at a time, remapped
+/// forward as the cursor advances, with MADV_SEQUENTIAL on each window.
+/// Falls back to buffered pread into a window-sized heap buffer when mmap
+/// is unavailable (or when forced, for tests). Throws std::runtime_error on
+/// open failure or malformed input.
+class StreamReader final : public RecordSource {
+ public:
+  explicit StreamReader(const std::string& path,
+                        StreamReaderOptions opts = {});
+  ~StreamReader() override;
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t memory_ops() const override { return record_count_; }
+  std::uint64_t tail_icount() const override { return tail_icount_; }
+  std::uint64_t total_instructions() const override { return total_insts_; }
+
+  bool next(TraceRecord& out) override;
+  void reset() override;
+
+  bool using_mmap() const { return use_mmap_; }
+  std::size_t window_bytes() const { return window_bytes_; }
+  /// Largest number of file bytes resident (mapped or buffered) at any
+  /// point so far — the accounting the bounded-memory acceptance test
+  /// asserts against. Never exceeds window_bytes() + one page of alignment
+  /// slack, regardless of file length.
+  std::size_t peak_resident_bytes() const { return peak_resident_; }
+
+ private:
+  void parse_header();
+  /// Positions the window so at least `need` bytes starting at `off_` are
+  /// resident; returns the cursor or nullptr when fewer than `need` bytes
+  /// remain in the file (truncation — callers decide whether that is EOF
+  /// or an error).
+  const unsigned char* ensure(std::size_t need);
+  void map_window(std::uint64_t aligned_off, std::size_t len);
+  void drop_window();
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t file_size_ = 0;
+  bool use_mmap_ = false;
+  std::size_t window_bytes_ = 0;
+  std::size_t page_ = 4096;
+
+  // Current window: [win_off_, win_off_ + win_len_) of the file.
+  unsigned char* win_ = nullptr;   // mmap region or buf_.get()
+  std::uint64_t win_off_ = 0;
+  std::size_t win_len_ = 0;
+  std::unique_ptr<unsigned char[]> buf_;  // buffered-fallback storage
+  std::size_t peak_resident_ = 0;
+
+  std::uint64_t off_ = 0;          // next unconsumed file offset
+  std::uint64_t records_off_ = 0;  // offset of the first record
+  std::uint64_t read_count_ = 0;   // records consumed since reset
+
+  std::string name_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t tail_icount_ = 0;
+  std::uint64_t total_insts_ = 0;
+};
+
+/// Incremental FGS1 writer: append records one at a time (nothing is held
+/// in memory), then finish() patches the header counts. The destructor
+/// finishes with the tail given to set_tail (default 0) if finish was not
+/// called explicitly.
+class StreamWriter {
+ public:
+  StreamWriter(const std::string& path, const std::string& name);
+  ~StreamWriter();
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  void append(const TraceRecord& r);
+  void set_tail(std::uint64_t tail_icount) { tail_icount_ = tail_icount; }
+  /// Seeks back and fills in record_count/tail/total_instructions, then
+  /// closes the file. Idempotent.
+  void finish();
+
+  std::uint64_t records_written() const { return count_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  long counts_pos_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t insts_ = 0;  // sum of (gap + 1) over appended records
+  std::uint64_t tail_icount_ = 0;
+  bool finished_ = false;
+};
+
+/// Converts a materialized trace to an FGS1 stream file.
+void write_trace_stream_file(const std::string& path, const Trace& trace);
+/// Materializes an FGS1 stream file (small traces / tooling).
+Trace read_trace_stream_file(const std::string& path);
+/// True when the file starts with the FGS1 magic.
+bool is_stream_trace_file(const std::string& path);
+
+}  // namespace fgnvm::trace

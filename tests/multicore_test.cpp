@@ -61,7 +61,11 @@ TEST(MultiCore, WeightedSpeedupValidatesArity) {
 }
 
 TEST(MultiCore, RejectsEmptyMix) {
-  EXPECT_THROW(run_multiprogrammed({}, sys::fgnvm_config(4, 4)),
+  EXPECT_THROW(run_multiprogrammed(std::vector<trace::Trace>{},
+                                   sys::fgnvm_config(4, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(run_multiprogrammed(std::vector<trace::RecordSource*>{},
+                                   sys::fgnvm_config(4, 4)),
                std::invalid_argument);
 }
 
